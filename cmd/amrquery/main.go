@@ -1,0 +1,150 @@
+// Command amrquery runs TQL (a small SQL dialect) over binary columnar
+// telemetry files written by the simulation tools — the query-driven
+// diagnosis workflow of the paper's §IV-C and Lesson 4.
+//
+// Usage:
+//
+//	amrquery -file telemetry.col "SELECT rank, sum(comm) AS total FROM t WHERE step >= 10 GROUP BY rank ORDER BY total DESC LIMIT 5"
+//	amrquery -file telemetry.col -schema
+//	amrquery -file telemetry.col            # interactive: one query per line
+//
+// The file's table is named "t" in queries. Range predicates of the form
+// `-prune col=lo:hi` are pushed down to the file's per-chunk statistics so
+// non-matching chunks are skipped without decoding. `-csv` emits results as
+// CSV for downstream tooling.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"amrtools/internal/colfile"
+	"amrtools/internal/telemetry"
+	"amrtools/internal/tql"
+)
+
+func main() {
+	file := flag.String("file", "", "columnar telemetry file")
+	schema := flag.Bool("schema", false, "print the file schema and row count, then exit")
+	prune := flag.String("prune", "", "chunk-pruning range predicate: col=lo:hi")
+	maxRows := flag.Int("rows", 50, "maximum rows to print (0 = all)")
+	asCSV := flag.Bool("csv", false, "emit query results as CSV instead of an aligned table")
+	flag.Parse()
+
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "amrquery: -file is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amrquery:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	var table *telemetry.Table
+	skipped := 0
+	if *prune != "" {
+		col, lo, hi, err := parsePrune(*prune)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amrquery:", err)
+			os.Exit(2)
+		}
+		table, skipped, err = colfile.ReadWhere(f, col, lo, hi)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amrquery:", err)
+			os.Exit(1)
+		}
+	} else {
+		table, err = colfile.ReadAll(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amrquery:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *schema {
+		fmt.Printf("%s: %d rows\n", *file, table.NumRows())
+		for _, s := range table.Schema() {
+			fmt.Printf("  %-16s %s\n", s.Name, s.Type)
+		}
+		return
+	}
+	env := map[string]*telemetry.Table{"t": table}
+	runOne := func(query string) {
+		out, err := tql.Run(query, env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amrquery:", err)
+			return
+		}
+		if *asCSV {
+			if err := out.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "amrquery:", err)
+			}
+			return
+		}
+		fmt.Print(out.Render(*maxRows))
+	}
+
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) != "" {
+		out, err := tql.Run(query, env)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amrquery:", err)
+			os.Exit(1)
+		}
+		if *asCSV {
+			if err := out.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "amrquery:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		if skipped > 0 {
+			fmt.Printf("(pruned %d chunks via embedded statistics)\n", skipped)
+		}
+		fmt.Print(out.Render(*maxRows))
+		return
+	}
+
+	// No query on the command line: interactive mode, one TQL statement per
+	// line (the hypothesis-driven exploration loop of §IV-C).
+	fmt.Printf("amrquery: %d rows loaded as table \"t\"; one TQL query per line, ctrl-D to exit\n", table.NumRows())
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("tql> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			return
+		}
+		runOne(line)
+	}
+}
+
+func parsePrune(s string) (col string, lo, hi float64, err error) {
+	eq := strings.IndexByte(s, '=')
+	colon := strings.LastIndexByte(s, ':')
+	if eq < 0 || colon < eq {
+		return "", 0, 0, fmt.Errorf("bad -prune %q, want col=lo:hi", s)
+	}
+	col = s[:eq]
+	if lo, err = strconv.ParseFloat(s[eq+1:colon], 64); err != nil {
+		return "", 0, 0, fmt.Errorf("bad -prune lower bound: %v", err)
+	}
+	if hi, err = strconv.ParseFloat(s[colon+1:], 64); err != nil {
+		return "", 0, 0, fmt.Errorf("bad -prune upper bound: %v", err)
+	}
+	return col, lo, hi, nil
+}

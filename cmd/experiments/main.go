@@ -1,0 +1,136 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only fig6,table1,...]
+//
+// Full mode reproduces the paper's scales (512–4096 simulated ranks for the
+// Sedov runs, up to 131072 ranks for scalebench) and takes several minutes;
+// -quick shrinks everything to seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"amrtools/internal/experiments"
+	"amrtools/internal/telemetry"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run shrunken configurations (seconds instead of minutes)")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	flag.Parse()
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+
+	type exp struct {
+		id, title string
+		run       func() []namedTable
+	}
+	suite := []exp{
+		{"fig1top", "Fig 1 (top): telemetry correlation before/after tuning", func() []namedTable {
+			return []namedTable{{"", experiments.Fig1Top(opts)}}
+		}},
+		{"fig1bottom", "Fig 1 (bottom): MPI_Wait spikes and drain-queue mitigation", func() []namedTable {
+			return []namedTable{{"", experiments.Fig1Bottom(opts)}}
+		}},
+		{"fig2", "Fig 2: thermal throttling and health-check pruning", func() []namedTable {
+			return []namedTable{{"", experiments.Fig2(opts)}}
+		}},
+		{"fig3", "Fig 3: rankwise boundary communication across tuning stages", func() []namedTable {
+			return []namedTable{{"", experiments.Fig3(opts)}}
+		}},
+		{"fig4", "Fig 4: critical paths within a synchronization window", func() []namedTable {
+			return []namedTable{{"", experiments.Fig4(opts)}}
+		}},
+		{"table1", "Table I: Sedov Blast Wave 3D problem configurations", func() []namedTable {
+			return []namedTable{{"", experiments.TableI(opts)}}
+		}},
+		{"fig6", "Fig 6: placement policy evaluation (Sedov, 512-4096 ranks)", func() []namedTable {
+			a, b, c := experiments.Fig6(opts)
+			return []namedTable{
+				{"(a) runtime by phase", a},
+				{"(b) comm/sync vs baseline", b},
+				{"(c) message locality", c},
+			}
+		}},
+		{"cooling", "§VI: galaxy-cooling comparison (directionally similar)", func() []namedTable {
+			return []namedTable{{"", experiments.Fig6Cooling(opts)}}
+		}},
+		{"fig7a", "Fig 7 (top): commbench round latency vs locality", func() []namedTable {
+			return []namedTable{{"", experiments.Fig7a(opts)}}
+		}},
+		{"fig7b", "Fig 7 (middle): scalebench normalized makespan", func() []namedTable {
+			return []namedTable{{"", experiments.Fig7b(opts)}}
+		}},
+		{"fig7c", "Fig 7 (bottom): placement computation overhead", func() []namedTable {
+			return []namedTable{{"", experiments.Fig7c(opts)}}
+		}},
+		{"lptilp", "§V-B: LPT vs exact solver", func() []namedTable {
+			return []namedTable{{"", experiments.LPTvsILP(opts)}}
+		}},
+		{"ablations", "Design ablations: cost source, rebalance ends, EWMA alpha", func() []namedTable {
+			return []namedTable{{"", experiments.Ablations(opts)}}
+		}},
+		{"lbinterval", "Extension: deferred load balancing (placement trigger frequency)", func() []namedTable {
+			return []namedTable{{"", experiments.LBIntervalSweep(opts)}}
+		}},
+		{"hilbert", "Extension: Hilbert vs Morton block ordering", func() []namedTable {
+			return []namedTable{{"", experiments.HilbertOrderStudy(opts)}}
+		}},
+		{"neighborhood", "Extension: neighborhood-collective aggregation vs raw P2P", func() []namedTable {
+			return []namedTable{{"", experiments.NeighborhoodCollectives(opts)}}
+		}},
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(id)] = true
+		}
+		var known []string
+		for _, e := range suite {
+			known = append(known, e.id)
+		}
+		sort.Strings(known)
+		for id := range selected {
+			found := false
+			for _, k := range known {
+				if k == id {
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(known, ", "))
+				os.Exit(2)
+			}
+		}
+	}
+
+	for _, e := range suite {
+		if len(selected) > 0 && !selected[e.id] {
+			continue
+		}
+		fmt.Printf("=== %s [%s] ===\n", e.title, e.id)
+		start := time.Now()
+		for _, nt := range e.run() {
+			if nt.name != "" {
+				fmt.Printf("--- %s ---\n", nt.name)
+			}
+			fmt.Print(nt.t.Render(0))
+		}
+		fmt.Printf("(elapsed %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+type namedTable struct {
+	name string
+	t    *telemetry.Table
+}

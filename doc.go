@@ -1,0 +1,13 @@
+// Package amrtools is a from-scratch Go reproduction of "Lessons from
+// Profiling and Optimizing Placement in AMR Codes" (CLUSTER 2025): the CPLX
+// tunable placement policy, the block-structured AMR and simulated-MPI
+// substrates it runs on, the telemetry pipeline that feeds it, and a
+// benchmark harness that regenerates every table and figure of the paper's
+// evaluation.
+//
+// See README.md for an overview, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level benchmarks in bench_test.go are the entry points that
+// regenerate each experiment; the cmd/experiments binary runs them at full
+// scale.
+package amrtools

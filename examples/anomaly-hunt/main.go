@@ -1,0 +1,85 @@
+// Anomaly-hunt: the §IV diagnosis workflow — an untuned cluster with a
+// secretly throttled node produces useless telemetry; health checks prune
+// the fail-slow hardware, and the auto-tuner walks the software knobs until
+// communication time correlates with communication volume again.
+//
+// Run with: go run ./examples/anomaly-hunt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amrtools/internal/driver"
+	"amrtools/internal/health"
+	"amrtools/internal/placement"
+	"amrtools/internal/simnet"
+	"amrtools/internal/stats"
+	"amrtools/internal/telemetry"
+	"amrtools/internal/tuning"
+)
+
+const (
+	wantNodes = 8
+	poolNodes = 10
+	ranksPer  = 16
+	steps     = 15
+	seed      = 9
+)
+
+func main() {
+	// The overprovisioned pool: 10 nodes requested for an 8-node job.
+	// Unknown to us, node 3 is thermally throttled 4x.
+	pool := simnet.Untuned(poolNodes, ranksPer, seed)
+	pool.ThrottledNodes = map[int]float64{3: 4}
+
+	// Step 1 — hardware first (§IV-A): probe every node with a fixed
+	// kernel and keep the healthy ones.
+	probes := health.ProbeNodes(pool)
+	checker := health.NewChecker(1.5)
+	healthy, err := checker.SelectHealthy(probes, wantNodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("health check: blacklisted nodes %v, launching on %v\n",
+		checker.Blacklisted(), healthy)
+	cluster := health.PruneConfig(pool, healthy)
+
+	// Step 2 — software stack (§IV-B): let the auto-tuner walk the knobs,
+	// scoring each configuration by telemetry reliability (corr of comm
+	// time vs message count), not raw speed.
+	probe := func(k tuning.Knobs) tuning.Diagnosis {
+		cfg := driver.DefaultConfig([3]int{4, 4, 8}, 2, steps, placement.Baseline{}, seed)
+		net := cluster
+		net.ShmQueueDepth = k.ShmQueueDepth
+		net.DrainQueue = k.DrainQueue
+		cfg.Net = net
+		cfg.SendsFirst = k.SendsFirst
+		res, err := driver.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := res.Steps.GroupBy([]string{"rank"}, []telemetry.AggSpec{
+			{Func: telemetry.Sum, Col: "msgs_sent", As: "msgs"},
+			{Func: telemetry.Sum, Col: "comm", As: "comm"},
+		})
+		return tuning.Diagnosis{
+			Corr:         g.Correlate("msgs", "comm"),
+			CommCV:       stats.CoefVar(g.Floats("comm")),
+			MeanStepTime: res.Makespan / steps,
+		}
+	}
+	start := tuning.Knobs{ShmQueueDepth: cluster.ShmQueueDepth}
+	best, trail := tuning.AutoTune(probe, start, 1024, 20)
+
+	fmt.Println("\ntuning trail (accepted moves):")
+	for _, s := range trail {
+		fmt.Printf("  %-28s %s  corr=%.3f cv=%.3f step=%.1fms\n",
+			s.Action, s.Knobs, s.Diagnosis.Corr, s.Diagnosis.CommCV,
+			s.Diagnosis.MeanStepTime*1e3)
+	}
+	fmt.Printf("\nfinal knobs: %s\n", best)
+	fmt.Println("with hardware pruned and the stack tuned, communication time now")
+	fmt.Println("tracks message volume — telemetry is trustworthy enough to drive")
+	fmt.Println("placement (the precondition for everything in §V).")
+}

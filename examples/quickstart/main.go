@@ -1,0 +1,61 @@
+// Quickstart: build an adaptively refined mesh, give blocks measured costs,
+// and compare placement policies on the two axes the paper optimizes —
+// compute balance (makespan) and communication locality.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"amrtools/internal/mesh"
+	"amrtools/internal/physics"
+	"amrtools/internal/placement"
+)
+
+func main() {
+	// A 4x4x4 root grid (64 blocks), refinable twice: the domain of a
+	// small Sedov blast wave.
+	m := mesh.NewUniform(4, 4, 4, 2)
+	sedov := physics.NewSedov([3]int{4, 4, 4}, 40, 7)
+
+	// Let the shock front reach mid-domain and refine around it, exactly
+	// as the simulation driver would at a redistribution point.
+	const step = 20
+	m.RefineOnce(func(id mesh.BlockID) bool { return sedov.WantRefine(id, step) })
+	fmt.Printf("mesh: %d leaf blocks after refinement (from 64 roots)\n", m.NumLeaves())
+
+	// Per-block compute costs, as telemetry would have measured them:
+	// blocks on the shock front are several times more expensive.
+	leaves := m.Leaves()
+	costs := make([]float64, len(leaves))
+	for i, b := range leaves {
+		costs[i] = sedov.Cost(b.ID, step)
+	}
+
+	// Place onto 32 ranks (2 ranks per node here, for node-level locality).
+	const ranks, ranksPerNode = 32, 2
+	adj := m.AdjacencyBySFC()
+
+	fmt.Printf("\n%-10s %10s %12s %10s %14s\n",
+		"policy", "makespan", "imbalance", "locality", "node-locality")
+	for _, pol := range []placement.Policy{
+		placement.Baseline{},
+		placement.CDP{Restricted: true},
+		placement.CPLX{X: 50},
+		placement.LPT{},
+	} {
+		a := pol.Assign(costs, ranks)
+		fmt.Printf("%-10s %10.2f %12.3f %10.3f %14.3f\n",
+			pol.Name(),
+			placement.Makespan(costs, a, ranks),
+			placement.Imbalance(costs, a, ranks),
+			placement.LocalityFraction(adj, a),
+			placement.NodeLocalityFraction(adj, a, ranksPerNode))
+	}
+
+	fmt.Println("\nreading the table: LPT minimizes makespan but scatters neighbors;")
+	fmt.Println("the baseline preserves locality but ignores costs; CPLX(50) sits on")
+	fmt.Println("the paper's sweet spot — near-LPT balance at a fraction of the")
+	fmt.Println("locality loss.")
+}

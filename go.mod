@@ -1,0 +1,3 @@
+module amrtools
+
+go 1.23

@@ -1,0 +1,548 @@
+// Package colfile implements a compact binary columnar file format for
+// telemetry tables, with per-chunk min/max statistics for predicate
+// pushdown.
+//
+// The paper's Lesson 4 argues that binary columnar formats with embedded
+// statistics (Parquet/Arrow-style), paired with in-situ collection, are the
+// right substrate for low-latency BSP telemetry — their ad hoc pipeline
+// moved from CSV to custom binary formats precisely because parsing became
+// the bottleneck. This package is that format: int columns are
+// delta+zigzag+varint encoded, floats are raw little-endian, strings are
+// chunk-local dictionaries. Each chunk carries numeric min/max so queries
+// with range predicates skip non-matching chunks without decoding them.
+//
+// Layout:
+//
+//	header:  magic "AMRC", version u8, ncols u16,
+//	         per column: name (u16 len + bytes), type u8
+//	chunk*:  total byte length u32, row count u32,
+//	         per column: stats flag u8 [min f64, max f64],
+//	         payload length u32, payload bytes
+package colfile
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"amrtools/internal/telemetry"
+)
+
+var magic = [4]byte{'A', 'M', 'R', 'C'}
+
+const version = 1
+
+// Stats are the embedded per-chunk, per-column statistics.
+type Stats struct {
+	Min, Max float64
+	Valid    bool // false for string columns and empty chunks
+}
+
+// ChunkStats maps column name → stats for one chunk.
+type ChunkStats map[string]Stats
+
+// Writer streams a table schema and chunks to an io.Writer.
+type Writer struct {
+	w      *bufio.Writer
+	schema []telemetry.ColSpec
+}
+
+// NewWriter writes the header for schema and returns a chunk writer.
+func NewWriter(w io.Writer, schema []telemetry.ColSpec) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(version); err != nil {
+		return nil, err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(schema))); err != nil {
+		return nil, err
+	}
+	for _, s := range schema {
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(s.Name))); err != nil {
+			return nil, err
+		}
+		if _, err := bw.WriteString(s.Name); err != nil {
+			return nil, err
+		}
+		if err := bw.WriteByte(byte(s.Type)); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{w: bw, schema: schema}, nil
+}
+
+// WriteChunk appends all rows of t as one chunk. t's schema must match the
+// writer's.
+func (w *Writer) WriteChunk(t *telemetry.Table) error {
+	if err := sameSchema(w.schema, t.Schema()); err != nil {
+		return err
+	}
+	var body bytes.Buffer
+	if err := binary.Write(&body, binary.LittleEndian, uint32(t.NumRows())); err != nil {
+		return err
+	}
+	for _, s := range w.schema {
+		payload, st, err := encodeColumn(t, s)
+		if err != nil {
+			return err
+		}
+		if st.Valid {
+			body.WriteByte(1)
+			binary.Write(&body, binary.LittleEndian, st.Min)
+			binary.Write(&body, binary.LittleEndian, st.Max)
+		} else {
+			body.WriteByte(0)
+		}
+		binary.Write(&body, binary.LittleEndian, uint32(len(payload)))
+		body.Write(payload)
+	}
+	if err := binary.Write(w.w, binary.LittleEndian, uint32(body.Len())); err != nil {
+		return err
+	}
+	_, err := w.w.Write(body.Bytes())
+	return err
+}
+
+// Flush flushes buffered output. Call once after the last chunk.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+func sameSchema(a, b []telemetry.ColSpec) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("colfile: schema mismatch: %d vs %d columns", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("colfile: schema mismatch at column %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+func encodeColumn(t *telemetry.Table, s telemetry.ColSpec) ([]byte, Stats, error) {
+	var buf bytes.Buffer
+	var st Stats
+	switch s.Type {
+	case telemetry.Int64:
+		xs := t.Ints(s.Name)
+		var tmp [binary.MaxVarintLen64]byte
+		prev := int64(0)
+		for i, v := range xs {
+			if i == 0 || float64(v) < st.Min {
+				st.Min = float64(v)
+			}
+			if i == 0 || float64(v) > st.Max {
+				st.Max = float64(v)
+			}
+			n := binary.PutVarint(tmp[:], v-prev) // signed varint = zigzag
+			buf.Write(tmp[:n])
+			prev = v
+		}
+		st.Valid = len(xs) > 0
+	case telemetry.Float64:
+		xs := t.Floats(s.Name)
+		for i, v := range xs {
+			if i == 0 || v < st.Min {
+				st.Min = v
+			}
+			if i == 0 || v > st.Max {
+				st.Max = v
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			buf.Write(b[:])
+		}
+		st.Valid = len(xs) > 0
+	case telemetry.String:
+		ss := t.Strings(s.Name)
+		// Chunk-local dictionary.
+		ids := make([]uint64, len(ss))
+		dict := []string{}
+		index := map[string]uint64{}
+		for i, v := range ss {
+			id, ok := index[v]
+			if !ok {
+				id = uint64(len(dict))
+				dict = append(dict, v)
+				index[v] = id
+			}
+			ids[i] = id
+		}
+		var tmp [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(tmp[:], uint64(len(dict)))
+		buf.Write(tmp[:n])
+		for _, d := range dict {
+			n := binary.PutUvarint(tmp[:], uint64(len(d)))
+			buf.Write(tmp[:n])
+			buf.WriteString(d)
+		}
+		for _, id := range ids {
+			n := binary.PutUvarint(tmp[:], id)
+			buf.Write(tmp[:n])
+		}
+	default:
+		return nil, st, fmt.Errorf("colfile: unknown column type %v", s.Type)
+	}
+	return buf.Bytes(), st, nil
+}
+
+// Reader decodes a colfile stream chunk by chunk.
+type Reader struct {
+	r      *bufio.Reader
+	schema []telemetry.ColSpec
+}
+
+// NewReader parses the header and returns a chunk reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("colfile: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("colfile: bad magic")
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("colfile: unsupported version %d", ver)
+	}
+	var ncols uint16
+	if err := binary.Read(br, binary.LittleEndian, &ncols); err != nil {
+		return nil, err
+	}
+	schema := make([]telemetry.ColSpec, ncols)
+	seen := make(map[string]bool, ncols)
+	for i := range schema {
+		var nameLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		typ, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if typ > byte(telemetry.String) {
+			return nil, fmt.Errorf("colfile: invalid column type %d", typ)
+		}
+		if seen[string(name)] {
+			return nil, fmt.Errorf("colfile: duplicate column %q in header", name)
+		}
+		seen[string(name)] = true
+		schema[i] = telemetry.ColSpec{Name: string(name), Type: telemetry.ColType(typ)}
+	}
+	return &Reader{r: br, schema: schema}, nil
+}
+
+// Schema returns the file's column specs.
+func (r *Reader) Schema() []telemetry.ColSpec { return r.schema }
+
+// PeekStats reads the next chunk's statistics and raw body without decoding
+// payloads. It returns io.EOF cleanly at end of stream. Use DecodeChunk on
+// the returned body to materialize rows, or discard it to skip the chunk —
+// this is the predicate-pushdown path.
+func (r *Reader) PeekStats() (ChunkStats, []byte, error) {
+	var chunkLen uint32
+	if err := binary.Read(r.r, binary.LittleEndian, &chunkLen); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, nil, io.EOF
+		}
+		return nil, nil, err
+	}
+	// Read incrementally rather than pre-allocating chunkLen bytes: a
+	// corrupt length field must fail on truncation, not exhaust memory.
+	var bodyBuf bytes.Buffer
+	if n, err := io.CopyN(&bodyBuf, r.r, int64(chunkLen)); err != nil {
+		if errors.Is(err, io.EOF) {
+			// A short chunk body is corruption, not a clean end of stream.
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, nil, fmt.Errorf("colfile: truncated chunk (%d of %d bytes): %w", n, chunkLen, err)
+	}
+	body := bodyBuf.Bytes()
+	stats := make(ChunkStats, len(r.schema))
+	buf := bytes.NewReader(body)
+	var nrows uint32
+	if err := binary.Read(buf, binary.LittleEndian, &nrows); err != nil {
+		return nil, nil, err
+	}
+	for _, s := range r.schema {
+		flag, err := buf.ReadByte()
+		if err != nil {
+			return nil, nil, err
+		}
+		var st Stats
+		if flag == 1 {
+			if err := binary.Read(buf, binary.LittleEndian, &st.Min); err != nil {
+				return nil, nil, err
+			}
+			if err := binary.Read(buf, binary.LittleEndian, &st.Max); err != nil {
+				return nil, nil, err
+			}
+			st.Valid = true
+		}
+		stats[s.Name] = st
+		var plen uint32
+		if err := binary.Read(buf, binary.LittleEndian, &plen); err != nil {
+			return nil, nil, err
+		}
+		if _, err := buf.Seek(int64(plen), io.SeekCurrent); err != nil {
+			return nil, nil, err
+		}
+	}
+	return stats, body, nil
+}
+
+// DecodeChunk materializes a chunk body (from PeekStats) as a table.
+func (r *Reader) DecodeChunk(body []byte) (*telemetry.Table, error) {
+	buf := bytes.NewReader(body)
+	var nrows uint32
+	if err := binary.Read(buf, binary.LittleEndian, &nrows); err != nil {
+		return nil, err
+	}
+	n := int(nrows)
+	if len(r.schema) == 0 && n > 0 {
+		return nil, fmt.Errorf("colfile: %d rows in a zero-column chunk", n)
+	}
+	cols := make([]interface{}, len(r.schema)) // []int64 / []float64 / []string
+	for ci, s := range r.schema {
+		flag, err := buf.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if flag == 1 {
+			if _, err := buf.Seek(16, io.SeekCurrent); err != nil {
+				return nil, err
+			}
+		}
+		var plen uint32
+		if err := binary.Read(buf, binary.LittleEndian, &plen); err != nil {
+			return nil, err
+		}
+		if int64(plen) > int64(buf.Len()) {
+			return nil, fmt.Errorf("colfile: column %q payload length %d exceeds chunk body", s.Name, plen)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(buf, payload); err != nil {
+			return nil, err
+		}
+		col, err := decodeColumn(s, payload, n)
+		if err != nil {
+			return nil, fmt.Errorf("colfile: column %q: %w", s.Name, err)
+		}
+		cols[ci] = col
+	}
+	t := telemetry.NewTable(r.schema...)
+	vals := make([]interface{}, len(r.schema))
+	for row := 0; row < n; row++ {
+		for ci := range r.schema {
+			switch c := cols[ci].(type) {
+			case []int64:
+				vals[ci] = c[row]
+			case []float64:
+				vals[ci] = c[row]
+			case []string:
+				vals[ci] = c[row]
+			}
+		}
+		t.Append(vals...)
+	}
+	return t, nil
+}
+
+func decodeColumn(s telemetry.ColSpec, payload []byte, n int) (interface{}, error) {
+	// Every encoding needs at least one byte per value (floats eight), so a
+	// row count that outruns the payload is corruption — reject it before
+	// allocating n-sized slices.
+	minBytes := n
+	if s.Type == telemetry.Float64 {
+		minBytes = 8 * n
+	}
+	if n < 0 || minBytes > len(payload) {
+		return nil, fmt.Errorf("row count %d exceeds %d payload bytes", n, len(payload))
+	}
+	buf := bytes.NewReader(payload)
+	switch s.Type {
+	case telemetry.Int64:
+		out := make([]int64, n)
+		prev := int64(0)
+		for i := 0; i < n; i++ {
+			d, err := binary.ReadVarint(buf)
+			if err != nil {
+				return nil, err
+			}
+			prev += d
+			out[i] = prev
+		}
+		return out, nil
+	case telemetry.Float64:
+		out := make([]float64, n)
+		var b [8]byte
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(buf, b[:]); err != nil {
+				return nil, err
+			}
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+		}
+		return out, nil
+	case telemetry.String:
+		dictN, err := binary.ReadUvarint(buf)
+		if err != nil {
+			return nil, err
+		}
+		// Each dictionary entry costs at least one byte (its length prefix).
+		if dictN > uint64(buf.Len()) {
+			return nil, fmt.Errorf("dictionary size %d exceeds payload", dictN)
+		}
+		dict := make([]string, dictN)
+		for i := range dict {
+			l, err := binary.ReadUvarint(buf)
+			if err != nil {
+				return nil, err
+			}
+			if l > uint64(buf.Len()) {
+				return nil, fmt.Errorf("dictionary entry length %d exceeds payload", l)
+			}
+			b := make([]byte, l)
+			if _, err := io.ReadFull(buf, b); err != nil {
+				return nil, err
+			}
+			dict[i] = string(b)
+		}
+		out := make([]string, n)
+		for i := 0; i < n; i++ {
+			id, err := binary.ReadUvarint(buf)
+			if err != nil {
+				return nil, err
+			}
+			if id >= dictN {
+				return nil, fmt.Errorf("dict id %d out of range %d", id, dictN)
+			}
+			out[i] = dict[id]
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("unknown type %v", s.Type)
+}
+
+// NextChunk decodes the next chunk fully. io.EOF signals end of stream.
+func (r *Reader) NextChunk() (*telemetry.Table, ChunkStats, error) {
+	stats, body, err := r.PeekStats()
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := r.DecodeChunk(body)
+	return t, stats, err
+}
+
+// WriteTable writes t to w in chunks of chunkRows rows (0 = one chunk).
+func WriteTable(w io.Writer, t *telemetry.Table, chunkRows int) error {
+	cw, err := NewWriter(w, t.Schema())
+	if err != nil {
+		return err
+	}
+	n := t.NumRows()
+	if chunkRows <= 0 {
+		chunkRows = n
+	}
+	if n == 0 {
+		if err := cw.WriteChunk(t); err != nil {
+			return err
+		}
+		return cw.Flush()
+	}
+	for lo := 0; lo < n; lo += chunkRows {
+		hi := lo + chunkRows
+		if hi > n {
+			hi = n
+		}
+		part := telemetry.NewTable(t.Schema()...)
+		for r := lo; r < hi; r++ {
+			part.AppendFrom(t, r)
+		}
+		if err := cw.WriteChunk(part); err != nil {
+			return err
+		}
+	}
+	return cw.Flush()
+}
+
+// ReadAll reads every chunk of the stream into one table.
+func ReadAll(r io.Reader) (*telemetry.Table, error) {
+	cr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	out := telemetry.NewTable(cr.Schema()...)
+	for {
+		chunk, _, err := cr.NextChunk()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		for row := 0; row < chunk.NumRows(); row++ {
+			out.AppendFrom(chunk, row)
+		}
+	}
+}
+
+// ReadWhere reads only chunks whose embedded statistics for column col
+// intersect [lo, hi]; non-matching chunks are skipped without decoding.
+// Rows inside matching chunks are then filtered exactly. This is the
+// "efficient querying via embedded statistics over partitioned data" path
+// of the paper's Lesson 4.
+func ReadWhere(r io.Reader, col string, lo, hi float64) (*telemetry.Table, int, error) {
+	cr, err := NewReader(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	found := false
+	for _, s := range cr.Schema() {
+		if s.Name == col {
+			if s.Type == telemetry.String {
+				return nil, 0, fmt.Errorf("colfile: range predicate on string column %q", col)
+			}
+			found = true
+		}
+	}
+	if !found {
+		return nil, 0, fmt.Errorf("colfile: no column %q", col)
+	}
+	out := telemetry.NewTable(cr.Schema()...)
+	skipped := 0
+	for {
+		stats, body, err := cr.PeekStats()
+		if errors.Is(err, io.EOF) {
+			return out, skipped, nil
+		}
+		if err != nil {
+			return nil, skipped, err
+		}
+		if st := stats[col]; st.Valid && (st.Max < lo || st.Min > hi) {
+			skipped++
+			continue // chunk cannot contain matching rows
+		}
+		chunk, err := cr.DecodeChunk(body)
+		if err != nil {
+			return nil, skipped, err
+		}
+		for row := 0; row < chunk.NumRows(); row++ {
+			if v := chunk.NumericAt(col, row); v >= lo && v <= hi {
+				out.AppendFrom(chunk, row)
+			}
+		}
+	}
+}

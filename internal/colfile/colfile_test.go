@@ -1,0 +1,333 @@
+package colfile
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"amrtools/internal/telemetry"
+	"amrtools/internal/xrand"
+)
+
+func buildTable(rows int, seed uint64) *telemetry.Table {
+	rng := xrand.New(seed)
+	t := telemetry.NewTable(
+		telemetry.IntCol("step"), telemetry.IntCol("rank"),
+		telemetry.FloatCol("wait"), telemetry.StrCol("policy"))
+	policies := []string{"baseline", "lpt", "cdp", "cpl50"}
+	for i := 0; i < rows; i++ {
+		t.Append(i/8, rng.Intn(64), rng.Float64()*10, policies[rng.Intn(4)])
+	}
+	return t
+}
+
+func tablesEqual(a, b *telemetry.Table) bool {
+	if a.NumRows() != b.NumRows() || !reflect.DeepEqual(a.Schema(), b.Schema()) {
+		return false
+	}
+	for _, s := range a.Schema() {
+		for r := 0; r < a.NumRows(); r++ {
+			if a.ValueAt(s.Name, r) != b.ValueAt(s.Name, r) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRoundTripSingleChunk(t *testing.T) {
+	src := buildTable(200, 1)
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tablesEqual(src, got) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestRoundTripMultiChunk(t *testing.T) {
+	src := buildTable(503, 2) // odd size to exercise ragged last chunk
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, src, 64); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tablesEqual(src, got) {
+		t.Fatal("multi-chunk round trip mismatch")
+	}
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	src := telemetry.NewTable(telemetry.IntCol("a"), telemetry.StrCol("b"))
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 || got.NumCols() != 2 {
+		t.Fatalf("empty round trip: %dx%d", got.NumRows(), got.NumCols())
+	}
+}
+
+func TestSpecialFloats(t *testing.T) {
+	src := telemetry.NewTable(telemetry.FloatCol("v"))
+	for _, v := range []float64{0, -0, math.Inf(1), math.Inf(-1), 1e-300, -1e300} {
+		src.Append(v)
+	}
+	src.Append(math.NaN())
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := got.Floats("v")
+	if vs[2] != math.Inf(1) || vs[3] != math.Inf(-1) {
+		t.Fatal("infinities mangled")
+	}
+	if !math.IsNaN(vs[6]) {
+		t.Fatal("NaN mangled")
+	}
+}
+
+func TestNegativeAndLargeInts(t *testing.T) {
+	src := telemetry.NewTable(telemetry.IntCol("v"))
+	vals := []int64{0, -1, 1, math.MaxInt64, math.MinInt64 + 1, -99999, 42}
+	for _, v := range vals {
+		src.Append(v)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Ints("v"), vals) {
+		t.Fatalf("ints mangled: %v", got.Ints("v"))
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE-nothing"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedChunkRejected(t *testing.T) {
+	src := buildTable(100, 3)
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-10]
+	if _, err := ReadAll(bytes.NewReader(cut)); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestSchemaMismatchOnWrite(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, buildTable(1, 1).Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := telemetry.NewTable(telemetry.IntCol("x"))
+	if err := w.WriteChunk(other); err == nil {
+		t.Fatal("schema mismatch accepted")
+	}
+}
+
+func TestChunkStats(t *testing.T) {
+	src := telemetry.NewTable(telemetry.IntCol("step"), telemetry.FloatCol("v"))
+	for i := 0; i < 10; i++ {
+		src.Append(i, float64(100-i))
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := r.NextChunk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := stats["step"]; !st.Valid || st.Min != 0 || st.Max != 9 {
+		t.Fatalf("step stats = %+v", st)
+	}
+	if st := stats["v"]; !st.Valid || st.Min != 91 || st.Max != 100 {
+		t.Fatalf("v stats = %+v", st)
+	}
+}
+
+func TestReadWherePrunesChunks(t *testing.T) {
+	// step is sorted; chunks of 50 rows → 10 chunks of distinct step ranges.
+	src := telemetry.NewTable(telemetry.IntCol("step"), telemetry.FloatCol("v"))
+	for i := 0; i < 500; i++ {
+		src.Append(i, float64(i)*0.5)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, src, 50); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ReadWhere(bytes.NewReader(buf.Bytes()), "step", 100, 149)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 50 {
+		t.Fatalf("rows = %d, want 50", got.NumRows())
+	}
+	if skipped != 9 {
+		t.Fatalf("skipped = %d, want 9", skipped)
+	}
+	steps := got.Ints("step")
+	if steps[0] != 100 || steps[49] != 149 {
+		t.Fatalf("range = %d..%d", steps[0], steps[49])
+	}
+}
+
+func TestReadWhereErrors(t *testing.T) {
+	src := buildTable(10, 5)
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadWhere(bytes.NewReader(buf.Bytes()), "policy", 0, 1); err == nil {
+		t.Fatal("string predicate accepted")
+	}
+	if _, _, err := ReadWhere(bytes.NewReader(buf.Bytes()), "missing", 0, 1); err == nil {
+		t.Fatal("missing column accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64, chunkRaw uint8) bool {
+		rng := xrand.New(seed)
+		rows := rng.Intn(300)
+		chunk := int(chunkRaw%50) + 1
+		src := buildTable(rows, seed)
+		var buf bytes.Buffer
+		if err := WriteTable(&buf, src, chunk); err != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		return tablesEqual(src, got)
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressionBeatsNaive(t *testing.T) {
+	// Sorted ints should delta-encode far below 8 bytes/value.
+	src := telemetry.NewTable(telemetry.IntCol("seq"))
+	const n = 10000
+	for i := 0; i < n; i++ {
+		src.Append(i)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > n*2 {
+		t.Fatalf("encoded size %d too large for %d sequential ints", buf.Len(), n)
+	}
+}
+
+func BenchmarkWriteRead(b *testing.B) {
+	src := buildTable(10000, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteTable(&buf, src, 1024); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadAll(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestHeaderCorruptionRejected(t *testing.T) {
+	src := buildTable(5, 9)
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Corrupt the version byte.
+	bad := append([]byte(nil), full...)
+	bad[4] = 99
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Corrupt a column type byte (last byte of header region).
+	bad2 := append([]byte(nil), full...)
+	// Header: magic(4)+ver(1)+ncols(2)+cols... find first col type byte:
+	// namelen(2)+name("step"=4)+type(1) → offset 4+1+2+2+4 = 13.
+	bad2[13] = 77
+	if _, err := NewReader(bytes.NewReader(bad2)); err == nil {
+		t.Error("bad column type accepted")
+	}
+	// Truncated header.
+	if _, err := NewReader(bytes.NewReader(full[:6])); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestDuplicateColumnHeaderRejected(t *testing.T) {
+	// Hand-built header declaring the same column name twice (a corruption
+	// pattern found by fuzzing): must error, not panic inside NewTable.
+	var buf bytes.Buffer
+	buf.WriteString("AMRC")
+	buf.WriteByte(1)        // version
+	buf.Write([]byte{2, 0}) // ncols = 2
+	for i := 0; i < 2; i++ {
+		buf.Write([]byte{1, 0}) // name length 1
+		buf.WriteString("x")    // same name
+		buf.WriteByte(0)        // int64
+	}
+	if _, err := NewReader(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("duplicate header columns accepted")
+	}
+}
+
+func TestOversizedLengthFieldsRejected(t *testing.T) {
+	// Corrupt chunk/row/dict lengths must fail cleanly without huge
+	// allocations (fuzz-derived regression).
+	src := telemetry.NewTable(telemetry.IntCol("a"))
+	src.Append(1)
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, src, 0); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Header ends after magic(4)+ver(1)+ncols(2)+namelen(2)+"a"(1)+type(1) = 11.
+	// Chunk length field is the next 4 bytes: blow it up to 4 GB.
+	corrupt := append([]byte(nil), data...)
+	corrupt[11], corrupt[12], corrupt[13], corrupt[14] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadAll(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("4GB chunk length accepted")
+	}
+}

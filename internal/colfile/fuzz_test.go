@@ -1,0 +1,31 @@
+package colfile
+
+import (
+	"bytes"
+	"testing"
+
+	"amrtools/internal/telemetry"
+)
+
+// FuzzReadAll asserts the reader never panics on arbitrary bytes: corrupt
+// or truncated files must surface as errors. Seeds include a valid file so
+// the fuzzer explores meaningful mutations of real structure.
+func FuzzReadAll(f *testing.F) {
+	valid := telemetry.NewTable(
+		telemetry.IntCol("step"), telemetry.FloatCol("v"), telemetry.StrCol("s"))
+	valid.Append(1, 2.5, "a")
+	valid.Append(2, -1.0, "bb")
+	var buf bytes.Buffer
+	if err := WriteTable(&buf, valid, 1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("AMRC"))
+	f.Add([]byte("AMRC\x01\x00\x00"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = ReadAll(bytes.NewReader(data))
+		_, _, _ = ReadWhere(bytes.NewReader(data), "step", 0, 10)
+	})
+}

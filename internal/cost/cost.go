@@ -1,0 +1,202 @@
+// Package cost models per-block compute costs.
+//
+// The paper's placement policies consume one number per mesh block: its
+// measured (or predicted) compute cost for the next timesteps. Frameworks
+// expose hooks for these costs but in practice initialize them to 1,
+// treating all blocks as equal (§V-A3). This package provides:
+//
+//   - the synthetic cost distributions used by scalebench (§VI-C):
+//     exponential, Gaussian, and power-law, with variability bounds chosen to
+//     create meaningful balancing opportunity within realistic AMR ranges;
+//   - Recorder, the telemetry-driven estimator that populates the framework
+//     cost hooks from measured per-block compute times, smoothing noise with
+//     an exponentially weighted moving average.
+package cost
+
+import (
+	"fmt"
+
+	"amrtools/internal/mesh"
+	"amrtools/internal/xrand"
+)
+
+// Distribution draws synthetic block costs. All draws are strictly positive.
+type Distribution interface {
+	// Sample returns one cost draw.
+	Sample(rng *xrand.RNG) float64
+	// Name identifies the distribution in experiment output.
+	Name() string
+}
+
+// Exponential is an exponential cost distribution with the given mean.
+// It models workloads where most blocks are cheap and a tail is expensive
+// (e.g. solver iteration counts near steep gradients).
+type Exponential struct {
+	Mean float64
+}
+
+// Sample draws Mean * Exp(1).
+func (d Exponential) Sample(rng *xrand.RNG) float64 { return d.Mean * rng.ExpFloat64() }
+
+// Name returns "exponential".
+func (d Exponential) Name() string { return "exponential" }
+
+// Gaussian is a truncated normal cost distribution: draws below Min are
+// clamped. It models mild, symmetric variability around a typical kernel
+// cost.
+type Gaussian struct {
+	Mean, SD float64
+	// Min is the clamp floor; a zero value clamps at 10% of Mean so costs
+	// stay positive.
+	Min float64
+}
+
+// Sample draws from N(Mean, SD) clamped below at Min (or Mean/10).
+func (d Gaussian) Sample(rng *xrand.RNG) float64 {
+	lo := d.Min
+	if lo <= 0 {
+		lo = d.Mean / 10
+	}
+	v := d.Mean + d.SD*rng.NormFloat64()
+	if v < lo {
+		return lo
+	}
+	return v
+}
+
+// Name returns "gaussian".
+func (d Gaussian) Name() string { return "gaussian" }
+
+// PowerLaw is a Pareto cost distribution with scale XM and shape Alpha.
+// Small Alpha (2–3) produces the heavy-tailed block costs that stress
+// load balancers hardest.
+type PowerLaw struct {
+	XM, Alpha float64
+}
+
+// Sample draws Pareto(XM, Alpha).
+func (d PowerLaw) Sample(rng *xrand.RNG) float64 { return rng.Pareto(d.XM, d.Alpha) }
+
+// Name returns "powerlaw".
+func (d PowerLaw) Name() string { return "powerlaw" }
+
+// Truncated clamps another distribution into [Lo, Hi].
+//
+// The paper's scalebench chooses "variability bounds ... to create
+// meaningful balancing opportunities while remaining within realistic AMR
+// ranges" (§VI-C): physics kernels differ by small factors, not by the
+// unbounded tails of raw exponential/Pareto draws. Without truncation a
+// single extreme block IS the makespan lower bound and every policy looks
+// optimal — the metric degenerates.
+type Truncated struct {
+	D      Distribution
+	Lo, Hi float64
+}
+
+// Sample draws from D and clamps into [Lo, Hi].
+func (t Truncated) Sample(rng *xrand.RNG) float64 {
+	v := t.D.Sample(rng)
+	if v < t.Lo {
+		return t.Lo
+	}
+	if v > t.Hi {
+		return t.Hi
+	}
+	return v
+}
+
+// Name returns the underlying distribution's name.
+func (t Truncated) Name() string { return t.D.Name() }
+
+// ScalebenchDistributions returns the three representative distributions the
+// paper's scalebench sweeps (§VI-C), calibrated to unit-order means with
+// meaningfully different tail weight, truncated to realistic AMR cost ranges
+// (a few × between the cheapest and the most expensive block).
+func ScalebenchDistributions() []Distribution {
+	return []Distribution{
+		Truncated{D: Exponential{Mean: 1.0}, Lo: 0.25, Hi: 4},
+		Gaussian{Mean: 1.0, SD: 0.3},
+		Truncated{D: PowerLaw{XM: 0.6, Alpha: 2.5}, Lo: 0.6, Hi: 5},
+	}
+}
+
+// Sample draws n costs from d using rng.
+func Sample(d Distribution, n int, rng *xrand.RNG) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// Recorder accumulates measured per-block compute times and exposes smoothed
+// cost estimates — the paper's change (1) in §V-A3: populating the cost
+// hooks with actual telemetry.
+//
+// Estimates use an EWMA with smoothing factor alpha: est ← alpha*obs +
+// (1-alpha)*est. New blocks (e.g. freshly refined) inherit their parent's
+// estimate when available, else the default cost 1.
+type Recorder struct {
+	alpha float64
+	est   map[mesh.BlockID]float64
+}
+
+// NewRecorder creates a Recorder with the given EWMA smoothing factor in
+// (0, 1]. alpha = 1 keeps only the latest observation.
+func NewRecorder(alpha float64) *Recorder {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("cost: invalid EWMA alpha %v", alpha))
+	}
+	return &Recorder{alpha: alpha, est: make(map[mesh.BlockID]float64)}
+}
+
+// Observe records one measured compute time for block id.
+func (r *Recorder) Observe(id mesh.BlockID, t float64) {
+	if prev, ok := r.est[id]; ok {
+		r.est[id] = r.alpha*t + (1-r.alpha)*prev
+	} else {
+		r.est[id] = t
+	}
+}
+
+// Estimate returns the smoothed cost estimate for id and whether any
+// observation (direct or inherited) informs it. Unknown blocks fall back to
+// the parent chain: a refined block starts from its parent's estimate scaled
+// by 1 (same cell count per block in block-based AMR).
+func (r *Recorder) Estimate(id mesh.BlockID) (float64, bool) {
+	cur := id
+	for {
+		if v, ok := r.est[cur]; ok {
+			return v, true
+		}
+		if cur.Level == 0 {
+			return 1, false
+		}
+		cur = cur.Parent()
+	}
+}
+
+// Costs returns the cost vector for leaves (in the given order), using 1 for
+// blocks with no estimate — exactly the framework default the paper starts
+// from.
+func (r *Recorder) Costs(leaves []*mesh.Block) []float64 {
+	out := make([]float64, len(leaves))
+	for i, b := range leaves {
+		v, _ := r.Estimate(b.ID)
+		out[i] = v
+	}
+	return out
+}
+
+// Forget removes estimates for blocks not in keep, bounding memory across
+// long runs with heavy (de)refinement.
+func (r *Recorder) Forget(keep map[mesh.BlockID]bool) {
+	for id := range r.est {
+		if !keep[id] {
+			delete(r.est, id)
+		}
+	}
+}
+
+// Len returns the number of blocks with direct estimates.
+func (r *Recorder) Len() int { return len(r.est) }

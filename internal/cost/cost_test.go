@@ -1,0 +1,164 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"amrtools/internal/mesh"
+	"amrtools/internal/stats"
+	"amrtools/internal/xrand"
+)
+
+func TestDistributionsPositive(t *testing.T) {
+	rng := xrand.New(1)
+	for _, d := range ScalebenchDistributions() {
+		for i := 0; i < 10000; i++ {
+			if v := d.Sample(rng); v <= 0 {
+				t.Fatalf("%s drew non-positive cost %v", d.Name(), v)
+			}
+		}
+	}
+}
+
+func TestDistributionNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, d := range ScalebenchDistributions() {
+		names[d.Name()] = true
+	}
+	for _, want := range []string{"exponential", "gaussian", "powerlaw"} {
+		if !names[want] {
+			t.Errorf("missing distribution %q", want)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := xrand.New(2)
+	xs := Sample(Exponential{Mean: 3}, 100000, rng)
+	if m := stats.Mean(xs); math.Abs(m-3) > 0.1 {
+		t.Errorf("exponential mean = %v, want ~3", m)
+	}
+}
+
+func TestGaussianClamp(t *testing.T) {
+	rng := xrand.New(3)
+	d := Gaussian{Mean: 1, SD: 5, Min: 0.25}
+	for i := 0; i < 10000; i++ {
+		if v := d.Sample(rng); v < 0.25 {
+			t.Fatalf("gaussian below clamp: %v", v)
+		}
+	}
+	// Default clamp at Mean/10.
+	d2 := Gaussian{Mean: 1, SD: 5}
+	for i := 0; i < 10000; i++ {
+		if v := d2.Sample(rng); v < 0.1 {
+			t.Fatalf("gaussian below default clamp: %v", v)
+		}
+	}
+}
+
+func TestPowerLawTailHeavierThanGaussian(t *testing.T) {
+	rng := xrand.New(4)
+	pl := Sample(PowerLaw{XM: 0.6, Alpha: 2.5}, 50000, rng)
+	ga := Sample(Gaussian{Mean: 1, SD: 0.3}, 50000, rng)
+	if stats.Percentile(pl, 99.9)/stats.Mean(pl) <= stats.Percentile(ga, 99.9)/stats.Mean(ga) {
+		t.Error("power-law tail not heavier than gaussian")
+	}
+}
+
+func TestRecorderEWMA(t *testing.T) {
+	r := NewRecorder(0.5)
+	id := mesh.BlockID{Level: 1, X: 1, Y: 0, Z: 0}
+	r.Observe(id, 10)
+	if v, ok := r.Estimate(id); !ok || v != 10 {
+		t.Fatalf("first estimate = %v/%v", v, ok)
+	}
+	r.Observe(id, 20)
+	if v, _ := r.Estimate(id); v != 15 {
+		t.Fatalf("EWMA estimate = %v, want 15", v)
+	}
+}
+
+func TestRecorderParentFallback(t *testing.T) {
+	r := NewRecorder(0.5)
+	parent := mesh.BlockID{Level: 0, X: 0, Y: 0, Z: 0}
+	r.Observe(parent, 7)
+	child := parent.Children()[3]
+	if v, ok := r.Estimate(child); !ok || v != 7 {
+		t.Fatalf("child estimate = %v/%v, want inherited 7", v, ok)
+	}
+	grandchild := child.Children()[0]
+	if v, ok := r.Estimate(grandchild); !ok || v != 7 {
+		t.Fatalf("grandchild estimate = %v/%v, want inherited 7", v, ok)
+	}
+}
+
+func TestRecorderDefaultOne(t *testing.T) {
+	r := NewRecorder(1)
+	if v, ok := r.Estimate(mesh.BlockID{Level: 0, X: 5}); ok || v != 1 {
+		t.Fatalf("unknown estimate = %v/%v, want 1/false", v, ok)
+	}
+}
+
+func TestRecorderCosts(t *testing.T) {
+	m := mesh.NewUniform(2, 1, 1, 1)
+	r := NewRecorder(1)
+	leaves := m.Leaves()
+	r.Observe(leaves[0].ID, 4)
+	cs := r.Costs(leaves)
+	if cs[0] != 4 || cs[1] != 1 {
+		t.Fatalf("costs = %v, want [4 1]", cs)
+	}
+}
+
+func TestRecorderForget(t *testing.T) {
+	r := NewRecorder(1)
+	a := mesh.BlockID{Level: 0, X: 0}
+	b := mesh.BlockID{Level: 0, X: 1}
+	r.Observe(a, 1)
+	r.Observe(b, 2)
+	r.Forget(map[mesh.BlockID]bool{a: true})
+	if r.Len() != 1 {
+		t.Fatalf("Len after Forget = %d, want 1", r.Len())
+	}
+	if _, ok := r.Estimate(b); ok {
+		t.Fatal("forgotten block still has estimate")
+	}
+}
+
+func TestNewRecorderPanicsOnBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha=%v did not panic", a)
+				}
+			}()
+			NewRecorder(a)
+		}()
+	}
+}
+
+// Property: EWMA estimates always lie within the range of observed values.
+func TestEWMAStaysInObservedRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		r := NewRecorder(0.3)
+		id := mesh.BlockID{}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 50; i++ {
+			v := rng.Float64()*100 + 1
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			r.Observe(id, v)
+			got, _ := r.Estimate(id)
+			if got < lo-1e-9 || got > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

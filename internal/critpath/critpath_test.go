@@ -1,0 +1,225 @@
+package critpath
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"amrtools/internal/xrand"
+)
+
+// Single-rank window: compute chain only; path must stay on one rank with
+// zero wait.
+func TestLocalCriticalPath(t *testing.T) {
+	tr := &Trace{}
+	a := tr.Add(0, Compute, "c0", 0, 5)
+	b := tr.Add(0, Compute, "c1", 5, 9, a)
+	tr.Add(1, Compute, "other", 0, 3)
+	res := tr.Analyze()
+	if res.Makespan != 9 {
+		t.Fatalf("makespan = %v", res.Makespan)
+	}
+	if len(res.Ranks) != 1 || res.Ranks[0] != 0 {
+		t.Fatalf("ranks = %v", res.Ranks)
+	}
+	if res.WaitOnPath != 0 {
+		t.Fatalf("wait = %v", res.WaitOnPath)
+	}
+	if len(res.Path) != 2 || res.Path[0] != a || res.Path[1] != b {
+		t.Fatalf("path = %v", res.Path)
+	}
+}
+
+// Two-rank window (Fig 4 top): rank 1 stalls waiting on rank 0's message.
+func TestTwoRankCriticalPath(t *testing.T) {
+	tr := &Trace{}
+	c0 := tr.Add(0, Compute, "compute@0", 0, 6)
+	send := tr.Add(0, Post, "send@0", 6, 6.1, c0)
+	c1 := tr.Add(1, Compute, "compute@1", 0, 2)
+	wait := tr.Add(1, Wait, "wait@1", 2, 6.2, c1, send) // stalls 4.2 until msg
+	tr.Add(1, Compute, "post@1", 6.2, 8, wait)
+	res, ok := CheckTwoRankPrinciple(tr)
+	if !ok {
+		t.Fatalf("two-rank principle violated: %+v", res)
+	}
+	if len(res.Ranks) != 2 {
+		t.Fatalf("ranks = %v, want exactly 2", res.Ranks)
+	}
+	if res.WaitOnPath < 4 {
+		t.Fatalf("wait on path = %v, want ~4.2", res.WaitOnPath)
+	}
+	if res.CrossRankEdges != 1 {
+		t.Fatalf("cross-rank edges = %d", res.CrossRankEdges)
+	}
+}
+
+// Ordering effect (Fig 4 bottom): prioritizing the send shortens the path.
+func TestSendPriorityShortensPath(t *testing.T) {
+	build := func(sendsFirst bool) *Trace {
+		tr := &Trace{}
+		// Rank 0 owns two blocks: block A's send feeds rank 1; block B is
+		// local compute. Scheduler either dispatches the send right after
+		// A's compute, or after B's compute too.
+		ca := tr.Add(0, Compute, "computeA", 0, 3)
+		var send int
+		if sendsFirst {
+			send = tr.Add(0, Post, "sendA", 3, 3.1, ca)
+			tr.Add(0, Compute, "computeB", 3.1, 7.1)
+		} else {
+			cb := tr.Add(0, Compute, "computeB", 3, 7)
+			send = tr.Add(0, Post, "sendA", 7, 7.1, ca, cb)
+		}
+		c1 := tr.Add(1, Compute, "compute@1", 0, 1)
+		w := tr.Add(1, Wait, "wait@1", 1, tr.Task(send).End+0.01, c1, send)
+		tr.Add(1, Compute, "tail@1", tr.Task(w).End, tr.Task(w).End+2, w)
+		return tr
+	}
+	slow := build(false).Analyze()
+	fast := build(true).Analyze()
+	if fast.Makespan >= slow.Makespan {
+		t.Fatalf("send priority did not shorten path: %v vs %v", fast.Makespan, slow.Makespan)
+	}
+	if fast.WaitOnPath >= slow.WaitOnPath {
+		t.Fatalf("send priority did not cut wait: %v vs %v", fast.WaitOnPath, slow.WaitOnPath)
+	}
+}
+
+func TestSendDelayMeasurement(t *testing.T) {
+	tr := &Trace{}
+	c := tr.Add(0, Compute, "c", 0, 3)
+	delayed := tr.Add(0, Post, "send-late", 7, 7.1, c) // ready at 3, starts at 7
+	prompt := tr.Add(0, Post, "send-now", 7.1, 7.2, c)
+	_ = prompt
+	delays := tr.SendDelay()
+	if d := delays[delayed]; d != 4 {
+		t.Fatalf("dispatch delay = %v, want 4", d)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("delays = %v", delays)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	tr := &Trace{}
+	res := tr.Analyze()
+	if len(res.Path) != 0 || res.Makespan != 0 {
+		t.Fatalf("empty analyze = %+v", res)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	tr := &Trace{}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("end<start did not panic")
+			}
+		}()
+		tr.Add(0, Compute, "bad", 5, 1)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("forward dep did not panic")
+			}
+		}()
+		tr.Add(0, Compute, "bad", 0, 1, 99)
+	}()
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{Compute: "compute", Post: "post", Wait: "wait", Other: "other"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+// Property: in randomly generated single-P2P-round windows, the two-rank
+// principle always holds.
+func TestTwoRankPrincipleProperty(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 200; trial++ {
+		nranks := 2 + rng.Intn(6)
+		tr := &Trace{}
+		// Each rank: compute → (post sends) → wait on one message from a
+		// random peer → tail compute. One communication round total.
+		computeEnd := make([]float64, nranks)
+		sendID := make([]int, nranks)
+		for r := 0; r < nranks; r++ {
+			d := 1 + rng.Float64()*9
+			c := tr.Add(r, Compute, "c", 0, d)
+			computeEnd[r] = d
+			sendID[r] = tr.Add(r, Post, "send", d, d+0.1, c)
+		}
+		for r := 0; r < nranks; r++ {
+			peer := (r + 1 + rng.Intn(nranks-1)) % nranks
+			msgArrive := tr.Task(sendID[peer]).End + 0.05
+			start := computeEnd[r] + 0.1
+			end := msgArrive
+			if end < start {
+				end = start // message already there: zero wait
+			}
+			w := tr.Add(r, Wait, "wait", start, end, sendID[peer])
+			tr.Add(r, Compute, "tail", end, end+rng.Float64()*3, w)
+		}
+		res, ok := CheckTwoRankPrinciple(tr)
+		if !ok {
+			t.Fatalf("trial %d: principle violated: ranks=%v crossEdges=%d",
+				trial, res.Ranks, res.CrossRankEdges)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := &Trace{}
+	c0 := tr.Add(0, Compute, "compute@0", 0, 6e-3)
+	send := tr.Add(0, Post, "send@0", 6e-3, 6e-3, c0)
+	c1 := tr.Add(1, Compute, "compute@1", 0, 2e-3)
+	tr.Add(1, Wait, "wait@1", 2e-3, 6.2e-3, c1, send)
+	res := tr.Analyze()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, &res); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var slices, flows, highlighted int
+	for _, e := range doc.TraceEvents {
+		switch e["ph"] {
+		case "X":
+			slices++
+			if args, ok := e["args"].(map[string]interface{}); ok && args["onCriticalPath"] == true {
+				highlighted++
+			}
+		case "s", "f":
+			flows++
+		}
+	}
+	if slices != 4 {
+		t.Fatalf("slices = %d, want 4", slices)
+	}
+	if flows != 2 { // one cross-rank dependency = one s/f pair
+		t.Fatalf("flow events = %d, want 2", flows)
+	}
+	if highlighted != len(res.Path) {
+		t.Fatalf("highlighted %d tasks, path has %d", highlighted, len(res.Path))
+	}
+}
+
+func TestWriteChromeTraceNilResult(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(0, Compute, "c", 0, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatal("invalid JSON without result")
+	}
+}

@@ -1,0 +1,652 @@
+// Package driver runs the end-to-end AMR simulation: a bulk-synchronous
+// timestep loop over a refining mesh, executed by simulated MPI ranks, with
+// telemetry-driven redistribution through pluggable placement policies.
+//
+// Each timestep mirrors the execution model of §II-A/§II-B:
+//
+//	pre-post ghost receives
+//	per owned block: compute kernel → post boundary sends
+//	  (sends interleave with compute when Config.SendsFirst, the §IV-B
+//	   task-reordering optimization; otherwise all computes run first)
+//	wait all receives, wait all sends
+//	barrier (the global synchronization that exposes stragglers)
+//
+// Every LBInterval steps the mesh is re-tagged from the physics problem;
+// when it changes, redistribution runs: measured per-block costs (EWMA over
+// telemetry, §V-A3) feed the placement policy, blocks migrate, and the
+// migration + placement time is charged to the rebalance phase.
+package driver
+
+import (
+	"fmt"
+	"time"
+
+	"amrtools/internal/cost"
+	"amrtools/internal/critpath"
+	"amrtools/internal/mesh"
+	"amrtools/internal/mpi"
+	"amrtools/internal/physics"
+	"amrtools/internal/placement"
+	"amrtools/internal/sim"
+	"amrtools/internal/simnet"
+	"amrtools/internal/telemetry"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// RootDims is the root-block grid (Table I: mesh size / block size,
+	// e.g. 128³ cells with 16³ blocks → 8×8×8 roots).
+	RootDims [3]int
+	// MaxLevel is the deepest refinement level.
+	MaxLevel int
+	// Steps is the number of timesteps to simulate.
+	Steps int
+	// LBInterval is how often (in steps) refinement is evaluated; the
+	// paper's codes trigger every 5 steps in the worst case.
+	LBInterval int
+
+	// BlockCells is the cells per block side (16 in Table I), NVars the
+	// physics variables exchanged, GhostDepth the ghost-zone width. These
+	// set boundary-message sizes.
+	BlockCells int
+	NVars      int
+	GhostDepth int
+
+	// CostTimeScale converts problem cost units into seconds of compute.
+	CostTimeScale float64
+
+	// SendsFirst interleaves each block's sends right after its compute
+	// (tuned schedule); false models the untuned compute-then-send order.
+	SendsFirst bool
+
+	// UseMeasuredCosts feeds telemetry-measured block costs into the
+	// placement policy (§V-A3 change 1); false leaves the framework
+	// default of unit costs.
+	UseMeasuredCosts bool
+	// CostAlpha is the EWMA smoothing for measured costs.
+	CostAlpha float64
+
+	// Policy computes block→rank assignments at every redistribution.
+	Policy placement.Policy
+	// Problem drives refinement and block costs.
+	Problem physics.Problem
+	// Net describes the simulated cluster.
+	Net simnet.Config
+
+	// CollectSteps enables the per-step per-rank telemetry table.
+	CollectSteps bool
+	// CollectWaits enables the individual wait-event table (Fig 1b),
+	// capped at MaxWaitEvents rows.
+	CollectWaits  bool
+	MaxWaitEvents int
+
+	// PlacementCharge is the virtual time charged per redistribution for
+	// computing the placement (deterministic stand-in for the measured
+	// wall clock, which is reported separately). Zero uses a 2 ms default.
+	PlacementCharge float64
+
+	// TraceStep, when >= 0, records a critical-path task trace
+	// (internal/critpath) of that timestep's synchronization window:
+	// compute kernels, send posts, and ghost waits with their message
+	// dependencies. Result.Trace holds the trace.
+	TraceStep int
+
+	// PlacementEvery recomputes placement on every k-th mesh change; in
+	// between, new blocks inherit their parent's rank (the deferred
+	// load-balancing question of Meta-Balancer, §VIII). 0 or 1 re-places
+	// on every change (the paper's behaviour); a value larger than the
+	// number of mesh changes never re-places at all.
+	PlacementEvery int
+
+	// NoFluxCorrection disables the flux-correction exchange (§II-B):
+	// fine blocks send restricted face fluxes to coarser face neighbors to
+	// keep conserved quantities consistent — the same small-message
+	// latency-sensitive P2P pattern as ghost exchange. Like ghosts, the
+	// messages carry previous-step data and dispatch at step start.
+	NoFluxCorrection bool
+
+	// OnStepRecord, when set (requires CollectSteps), observes every
+	// per-step per-rank telemetry row as it is appended — the hook for
+	// programmable telemetry triggers (§IV-C): arm heavier collection the
+	// moment a condition appears in live telemetry (see telemetry.Watcher).
+	OnStepRecord func(t *telemetry.Table, row int)
+}
+
+// DefaultConfig returns a tuned-environment configuration with one initial
+// block per rank, Sedov physics, and the standard block geometry.
+func DefaultConfig(rootDims [3]int, maxLevel, steps int, pol placement.Policy, seed uint64) Config {
+	nranks := rootDims[0] * rootDims[1] * rootDims[2]
+	ranksPerNode := 16
+	nodes := nranks / ranksPerNode
+	if nodes == 0 {
+		nodes = 1
+		ranksPerNode = nranks
+	}
+	return Config{
+		RootDims:         rootDims,
+		MaxLevel:         maxLevel,
+		Steps:            steps,
+		LBInterval:       5,
+		BlockCells:       16,
+		NVars:            9, // GRMHD-scale variable count (Phoebus)
+		GhostDepth:       2,
+		CostTimeScale:    2e-3,
+		SendsFirst:       true,
+		UseMeasuredCosts: true,
+		CostAlpha:        0.5,
+		Policy:           pol,
+		Problem:          physics.NewSedov(rootDims, steps, seed),
+		Net:              simnet.Tuned(nodes, ranksPerNode, seed),
+		CollectSteps:     true,
+		MaxWaitEvents:    200000,
+		TraceStep:        -1,
+	}
+}
+
+// PhaseTotals aggregates per-phase times (mean over ranks, seconds).
+type PhaseTotals struct {
+	Compute, Comm, Sync, Rebalance float64
+}
+
+// Total returns the sum of all phases.
+func (p PhaseTotals) Total() float64 { return p.Compute + p.Comm + p.Sync + p.Rebalance }
+
+// Result is the outcome of a run.
+type Result struct {
+	// Steps is the per-step per-rank telemetry table (nil unless
+	// CollectSteps): step, rank, node, compute, comm, sync, rebalance,
+	// msgs_sent, bytes_sent, msgs_recvd.
+	Steps *telemetry.Table
+	// Waits is the wait-event table (nil unless CollectWaits): t, rank,
+	// kind, dur.
+	Waits *telemetry.Table
+	// Phases are mean-over-ranks phase totals.
+	Phases PhaseTotals
+	// Makespan is the virtual end-to-end runtime.
+	Makespan float64
+	// InitialBlocks/FinalBlocks bracket the mesh growth (Table I).
+	InitialBlocks, FinalBlocks int
+	// LBSteps counts redistributions performed (Table I's t_lb).
+	LBSteps int
+	// Census is the final message census.
+	Census simnet.Census
+	// PlacementWall records the real wall-clock duration of each placement
+	// computation (Fig 7c).
+	PlacementWall []time.Duration
+	// Migrations is the total number of block moves across redistributions.
+	Migrations int
+	// BlockHistory is the leaf count after each redistribution.
+	BlockHistory []int
+	// Trace is the task trace of the TraceStep window (nil unless
+	// requested).
+	Trace *critpath.Trace
+}
+
+// exchange is one directed boundary message between two blocks.
+type exchange struct {
+	tag      int
+	from, to int // block SFC indices
+	size     int
+}
+
+// epoch is the immutable communication plan between redistributions.
+type epoch struct {
+	leafIDs  []mesh.BlockID
+	assign   placement.Assignment
+	blocksOf [][]int // rank → owned block indices (SFC order)
+	// sends/recvs cover both ghost exchanges and flux-correction messages
+	// (fine block → coarser face neighbor): both carry previous-step data,
+	// so both dispatch at step start and are transfer-bound.
+	sends [][]exchange
+	recvs [][]exchange
+	intra []int     // rank → co-located pair count (memcpy exchanges)
+	costs []float64 // cost units used for this epoch's placement
+}
+
+// runState is the shared state rank 0 mutates at redistribution barriers.
+type runState struct {
+	cfg       Config
+	m         *mesh.Mesh
+	rec       *cost.Recorder
+	ep        *epoch
+	owner     map[mesh.BlockID]int // ownership across epochs, for migration
+	rebCharge []float64            // per-rank rebalance charge for this epoch
+	// chargePending tells every rank whether the just-finished
+	// redistribution changed the mesh (uniform across ranks, so the
+	// conditional rebalance barrier below stays collective).
+	chargePending bool
+	res           *Result
+	sizes         [3]int // face/edge/vertex message bytes
+
+	// meshChanges counts redistributions that changed the mesh, for the
+	// PlacementEvery deferral.
+	meshChanges int
+
+	// Trace-window state: sendTask maps message tag → Post task id so
+	// receivers can record their cross-rank dependencies. Engine
+	// serialization makes unsynchronized appends safe.
+	sendTask map[int]int
+}
+
+// Run executes the simulation and returns its results.
+func Run(cfg Config) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	if cfg.TraceStep >= cfg.Steps {
+		return nil, fmt.Errorf("driver: TraceStep %d beyond last step %d", cfg.TraceStep, cfg.Steps-1)
+	}
+	eng := sim.NewEngine()
+	net := simnet.New(eng, cfg.Net)
+	world := mpi.NewWorld(eng, net)
+	nranks := world.NumRanks()
+
+	st := &runState{
+		cfg:       cfg,
+		m:         mesh.NewUniform(cfg.RootDims[0], cfg.RootDims[1], cfg.RootDims[2], cfg.MaxLevel),
+		rec:       cost.NewRecorder(cfg.CostAlpha),
+		owner:     make(map[mesh.BlockID]int),
+		rebCharge: make([]float64, nranks),
+		res:       &Result{},
+		sizes:     messageSizes(cfg),
+	}
+	st.res.InitialBlocks = st.m.NumLeaves()
+
+	// Initial placement: the framework default of unit costs (telemetry
+	// has seen nothing yet).
+	st.buildEpoch(unitCosts(st.m.NumLeaves()), nranks, true)
+
+	if cfg.CollectSteps {
+		st.res.Steps = telemetry.NewTable(
+			telemetry.IntCol("step"), telemetry.IntCol("rank"), telemetry.IntCol("node"),
+			telemetry.FloatCol("compute"), telemetry.FloatCol("comm"),
+			telemetry.FloatCol("sync"), telemetry.FloatCol("rebalance"),
+			telemetry.IntCol("msgs_sent"), telemetry.IntCol("bytes_sent"),
+			telemetry.IntCol("msgs_recvd"),
+		)
+	}
+	if cfg.CollectWaits {
+		st.res.Waits = telemetry.NewTable(
+			telemetry.FloatCol("t"), telemetry.IntCol("rank"),
+			telemetry.StrCol("kind"), telemetry.FloatCol("dur"),
+		)
+		world.OnWait = func(rank int, kind mpi.WaitKind, dur float64) {
+			if st.res.Waits.NumRows() >= cfg.MaxWaitEvents {
+				return
+			}
+			ks := "recv"
+			if kind == mpi.WaitSend {
+				ks = "send"
+			}
+			st.res.Waits.Append(eng.Now(), rank, ks, dur)
+		}
+	}
+
+	prev := make([]mpi.Meter, nranks) // last snapshot per rank
+	for r := 0; r < nranks; r++ {
+		r := r
+		world.Spawn(r, func(c *mpi.Comm) {
+			st.rankProgram(c, world, &prev[r])
+		})
+	}
+	eng.Run()
+	if blocked := eng.Blocked(); len(blocked) > 0 {
+		eng.Close()
+		return nil, fmt.Errorf("driver: simulated deadlock, %d ranks blocked (first: %s)",
+			len(blocked), blocked[0].Name())
+	}
+
+	st.res.Makespan = eng.Now()
+	st.res.FinalBlocks = st.m.NumLeaves()
+	st.res.Census = net.Census
+	var tot PhaseTotals
+	for r := 0; r < nranks; r++ {
+		m := world.Meter(r)
+		tot.Compute += m.Compute
+		tot.Comm += m.CommWait
+		tot.Sync += m.Sync
+		tot.Rebalance += m.Rebalance
+	}
+	n := float64(nranks)
+	st.res.Phases = PhaseTotals{
+		Compute: tot.Compute / n, Comm: tot.Comm / n,
+		Sync: tot.Sync / n, Rebalance: tot.Rebalance / n,
+	}
+	return st.res, nil
+}
+
+func validate(cfg *Config) error {
+	switch {
+	case cfg.RootDims[0] <= 0 || cfg.RootDims[1] <= 0 || cfg.RootDims[2] <= 0:
+		return fmt.Errorf("driver: invalid root dims %v", cfg.RootDims)
+	case cfg.Steps <= 0:
+		return fmt.Errorf("driver: non-positive steps %d", cfg.Steps)
+	case cfg.Policy == nil:
+		return fmt.Errorf("driver: nil policy")
+	case cfg.Problem == nil:
+		return fmt.Errorf("driver: nil problem")
+	case cfg.Net.Nodes <= 0 || cfg.Net.RanksPerNode <= 0:
+		return fmt.Errorf("driver: invalid network config")
+	case cfg.CostTimeScale <= 0:
+		return fmt.Errorf("driver: non-positive cost time scale")
+	}
+	if cfg.LBInterval <= 0 {
+		cfg.LBInterval = 5
+	}
+	if cfg.CostAlpha <= 0 || cfg.CostAlpha > 1 {
+		cfg.CostAlpha = 0.5
+	}
+	if cfg.PlacementCharge <= 0 {
+		cfg.PlacementCharge = 2e-3
+	}
+	if cfg.MaxWaitEvents <= 0 {
+		cfg.MaxWaitEvents = 200000
+	}
+	return nil
+}
+
+func unitCosts(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}
+
+// messageSizes returns [face, edge, vertex] boundary-message bytes: ghost
+// slabs of the block surface scaled by variable count (§II-B: volume depends
+// on variables and neighbor type, not refinement level).
+func messageSizes(cfg Config) [3]int {
+	c, g, v := cfg.BlockCells, cfg.GhostDepth, cfg.NVars
+	const w = 8 // bytes per value
+	return [3]int{
+		c * c * g * v * w, // face: cells² × depth
+		c * g * g * v * w, // edge: cells × depth²
+		g * g * g * v * w, // vertex: depth³
+	}
+}
+
+// buildEpoch computes the placement for the current mesh and rebuilds the
+// communication plan. initial=true skips wall-clock recording.
+func (st *runState) buildEpoch(costs []float64, nranks int, initial bool) {
+	start := time.Now()
+	assign := st.cfg.Policy.Assign(costs, nranks)
+	wall := time.Since(start)
+	if !initial {
+		st.res.PlacementWall = append(st.res.PlacementWall, wall)
+	}
+	st.buildEpochWith(assign, costs, nranks, initial)
+}
+
+// inheritAssignment maps every current leaf to its previous owner, falling
+// back to the parent (for freshly refined blocks) or first child (for
+// freshly coarsened ones), and rank 0 as a last resort.
+func (st *runState) inheritAssignment(leaves []*mesh.Block, nranks int) placement.Assignment {
+	assign := make(placement.Assignment, len(leaves))
+	for i, b := range leaves {
+		owner, ok := st.owner[b.ID]
+		if !ok && b.ID.Level > 0 {
+			owner, ok = st.owner[b.ID.Parent()]
+		}
+		if !ok && b.ID.Level < st.m.MaxLevel() {
+			owner, ok = st.owner[b.ID.Children()[0]]
+		}
+		if !ok || owner < 0 || owner >= nranks {
+			owner = 0
+		}
+		assign[i] = owner
+	}
+	return assign
+}
+
+// buildEpochWith rebuilds the communication plan for a given assignment.
+func (st *runState) buildEpochWith(assign placement.Assignment, costs []float64, nranks int, initial bool) {
+	leaves := st.m.Leaves()
+	n := len(leaves)
+	if err := placement.Validate(assign, n, nranks); err != nil {
+		panic(fmt.Sprintf("driver: policy %s produced invalid assignment: %v", st.cfg.Policy.Name(), err))
+	}
+
+	ep := &epoch{
+		leafIDs:  make([]mesh.BlockID, n),
+		assign:   assign,
+		blocksOf: make([][]int, nranks),
+		sends:    make([][]exchange, nranks),
+		recvs:    make([][]exchange, nranks),
+		intra:    make([]int, nranks),
+		costs:    costs,
+	}
+	index := make(map[mesh.BlockID]int, n)
+	for i, b := range leaves {
+		ep.leafIDs[i] = b.ID
+		index[b.ID] = i
+	}
+	for i := range leaves {
+		ep.blocksOf[assign[i]] = append(ep.blocksOf[assign[i]], i)
+	}
+
+	// Migration accounting: block moved if its (or its parent's) previous
+	// owner differs. Each moved block costs blockBytes over the fabric.
+	blockBytes := st.cfg.BlockCells * st.cfg.BlockCells * st.cfg.BlockCells * st.cfg.NVars * 8
+	migIn := make([]int64, nranks)
+	migOut := make([]int64, nranks)
+	if len(st.owner) > 0 {
+		for i, id := range ep.leafIDs {
+			old, ok := st.owner[id]
+			if !ok && id.Level > 0 {
+				old, ok = st.owner[id.Parent()]
+			}
+			if !ok {
+				// Coarsened block: inherit from first child if known.
+				if st.m.MaxLevel() > id.Level {
+					old, ok = st.owner[id.Children()[0]]
+				}
+			}
+			if ok && old != assign[i] && old < nranks {
+				st.res.Migrations++
+				migOut[old] += int64(blockBytes)
+				migIn[assign[i]] += int64(blockBytes)
+			}
+		}
+	}
+	st.owner = make(map[mesh.BlockID]int, n)
+	for i, id := range ep.leafIDs {
+		st.owner[id] = assign[i]
+	}
+	bw := st.cfg.Net.RemoteBandwidth
+	for r := 0; r < nranks; r++ {
+		st.rebCharge[r] = st.cfg.PlacementCharge + float64(migIn[r]+migOut[r])/bw
+	}
+
+	// Communication plan: one directed exchange per (block, boundary
+	// element partner), plus flux-correction messages (§II-B: a fine block
+	// restricts its previous-step face fluxes to a coarser face neighbor —
+	// the same small-message latency-sensitive P2P pattern as ghosts).
+	// Tags index the global exchange list.
+	fluxSize := (st.cfg.BlockCells / 2) * (st.cfg.BlockCells / 2) * st.cfg.NVars * 8
+	tag := 0
+	addExchange := func(i, j, size int) {
+		e := exchange{tag: tag, from: i, to: j, size: size}
+		tag++
+		sr, dr := assign[i], assign[j]
+		if sr == dr {
+			ep.intra[sr]++
+			return
+		}
+		ep.sends[sr] = append(ep.sends[sr], e)
+		ep.recvs[dr] = append(ep.recvs[dr], e)
+	}
+	for i, b := range leaves {
+		for _, nb := range st.m.NeighborsOf(b.ID) {
+			j := index[nb.ID]
+			addExchange(i, j, st.sizes[int(nb.Kind)])
+			if !st.cfg.NoFluxCorrection && nb.Kind == mesh.Face && nb.ID.Level == b.ID.Level-1 {
+				addExchange(i, j, fluxSize)
+			}
+		}
+	}
+	st.ep = ep
+	st.res.BlockHistory = append(st.res.BlockHistory, n)
+}
+
+// redistribute re-tags the mesh from the physics problem and, if it changed,
+// recomputes placement from (measured or unit) costs. Called by rank 0 only,
+// between barriers, at zero virtual cost (the virtual charge is applied by
+// every rank afterwards).
+func (st *runState) redistribute(step, nranks int) {
+	refined := st.m.RefineOnce(func(id mesh.BlockID) bool { return st.cfg.Problem.WantRefine(id, step) })
+	coarsened := st.m.CoarsenWhere(func(id mesh.BlockID) bool { return st.cfg.Problem.WantCoarsen(id, step) })
+	if refined == 0 && coarsened == 0 {
+		st.chargePending = false
+		return
+	}
+	st.chargePending = true
+	st.res.LBSteps++
+	st.meshChanges++
+	leaves := st.m.Leaves()
+	if st.cfg.PlacementEvery > 1 && st.meshChanges%st.cfg.PlacementEvery != 0 {
+		// Deferred load balancing: keep ownership, let new blocks inherit
+		// their parent's rank, rebuild only the communication plan.
+		st.buildEpochWith(st.inheritAssignment(leaves, nranks), unitCosts(len(leaves)), nranks, false)
+	} else {
+		var costs []float64
+		if st.cfg.UseMeasuredCosts {
+			costs = st.rec.Costs(leaves)
+		} else {
+			costs = unitCosts(len(leaves))
+		}
+		st.buildEpoch(costs, nranks, false)
+	}
+	// Bound recorder memory to live blocks (+ their parents via fallback).
+	keep := make(map[mesh.BlockID]bool, len(leaves))
+	for _, b := range leaves {
+		keep[b.ID] = true
+		id := b.ID
+		for id.Level > 0 {
+			id = id.Parent()
+			keep[id] = true
+		}
+	}
+	st.rec.Forget(keep)
+}
+
+// rankProgram is the per-rank BSP loop.
+func (st *runState) rankProgram(c *mpi.Comm, world *mpi.World, prev *mpi.Meter) {
+	rank := c.Rank()
+	nranks := world.NumRanks()
+	scale := st.cfg.CostTimeScale
+	for step := 0; step < st.cfg.Steps; step++ {
+		ep := st.ep
+		// Boundary exchange carries the previous step's block state, so
+		// sends are ready the moment the step begins. Pre-post every ghost
+		// receive.
+		recvReqs := make([]*mpi.Request, len(ep.recvs[rank]))
+		for i, e := range ep.recvs[rank] {
+			recvReqs[i] = c.Irecv(ep.assign[e.from], e.tag)
+		}
+		var sendReqs []*mpi.Request
+		postSends := func() {
+			for _, e := range ep.sends[rank] {
+				sendReqs = append(sendReqs, c.Isend(ep.assign[e.to], e.tag, e.size))
+			}
+			for i := 0; i < ep.intra[rank]; i++ {
+				c.IntraRank()
+			}
+		}
+		compute := func() {
+			for _, b := range ep.blocksOf[rank] {
+				dur := c.Compute(st.cfg.Problem.Cost(ep.leafIDs[b], step) * scale)
+				st.rec.Observe(ep.leafIDs[b], dur/scale)
+			}
+		}
+		tracing := step == st.cfg.TraceStep
+		if tracing && st.res.Trace == nil {
+			st.res.Trace = &critpath.Trace{}
+			st.sendTask = make(map[int]int)
+		}
+		tracedCompute := func() {
+			if !tracing {
+				compute()
+				return
+			}
+			for _, b := range ep.blocksOf[rank] {
+				t0 := c.Now()
+				dur := c.Compute(st.cfg.Problem.Cost(ep.leafIDs[b], step) * scale)
+				st.rec.Observe(ep.leafIDs[b], dur/scale)
+				st.res.Trace.Add(rank, critpath.Compute,
+					fmt.Sprintf("compute b%d", b), t0, c.Now())
+			}
+		}
+		tracedSends := func() {
+			postSends()
+			if tracing {
+				now := c.Now()
+				for _, e := range ep.sends[rank] {
+					st.sendTask[e.tag] = st.res.Trace.Add(rank, critpath.Post,
+						fmt.Sprintf("send t%d", e.tag), now, now)
+				}
+			}
+		}
+		tracedRecvWait := func() {
+			if !tracing {
+				c.WaitAll(recvReqs)
+				return
+			}
+			t0 := c.Now()
+			c.WaitAll(recvReqs)
+			deps := make([]int, 0, len(ep.recvs[rank]))
+			for _, e := range ep.recvs[rank] {
+				if id, ok := st.sendTask[e.tag]; ok {
+					deps = append(deps, id)
+				}
+			}
+			st.res.Trace.Add(rank, critpath.Wait, "ghost wait", t0, c.Now(), deps...)
+		}
+		if st.cfg.SendsFirst {
+			// Tuned schedule (§IV-B): sends dispatch immediately, so
+			// neighbors' ghost waits are transfer-bound only.
+			tracedSends()
+			tracedRecvWait()
+			tracedCompute()
+		} else {
+			// Untuned schedule: send tasks sit behind compute tasks, so a
+			// neighbor's ghost wait absorbs this rank's entire compute
+			// time — the cascading delays of Fig 3 (left).
+			tracedCompute()
+			tracedSends()
+			tracedRecvWait()
+		}
+		c.WaitAll(sendReqs)
+
+		// Global synchronization, then step telemetry: the meter snapshot
+		// is taken after the barrier so this step's record includes its
+		// sync wait.
+		c.Barrier()
+		m := world.Meter(rank)
+		if st.res.Steps != nil {
+			st.res.Steps.Append(
+				step, rank, world.Net().NodeOf(rank),
+				m.Compute-prev.Compute, m.CommWait-prev.CommWait,
+				m.Sync-prev.Sync, m.Rebalance-prev.Rebalance,
+				m.MsgsSent-prev.MsgsSent, m.BytesSent-prev.BytesSent,
+				m.MsgsRecvd-prev.MsgsRecvd,
+			)
+			if st.cfg.OnStepRecord != nil {
+				st.cfg.OnStepRecord(st.res.Steps, st.res.Steps.NumRows()-1)
+			}
+		}
+		*prev = *m
+
+		// Redistribution window.
+		if (step+1)%st.cfg.LBInterval == 0 && step+1 < st.cfg.Steps {
+			if rank == 0 {
+				st.redistribute(step+1, nranks)
+			}
+			c.Barrier() // publish the new epoch before anyone reads it
+			if st.chargePending {
+				c.ChargeRebalance(st.rebCharge[rank])
+				c.Barrier() // migration is collective in the codes we model
+			}
+		}
+	}
+}

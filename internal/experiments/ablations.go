@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"amrtools/internal/cost"
+	"amrtools/internal/placement"
+	"amrtools/internal/telemetry"
+	"amrtools/internal/xrand"
+)
+
+// Ablations isolates the design choices behind CPLX that the paper argues
+// for but does not plot:
+//
+//   - measured vs unit costs (§V-A3 change 1: populating the framework cost
+//     hooks from telemetry is what makes any cost-aware policy work);
+//   - both-ends vs top-only rank selection in the CPLX rebalance (§V-D:
+//     "including both ends is crucial, as rebalancing needs both source and
+//     destination ranks");
+//   - the EWMA smoothing factor for measured costs.
+//
+// Columns: ablation, variant, total_s, makespan_norm, improvement_pct.
+// Rows with total_s = 0 are placement-only ablations (no simulation run).
+func Ablations(opts Options) *telemetry.Table {
+	out := telemetry.NewTable(
+		telemetry.StrCol("ablation"), telemetry.StrCol("variant"),
+		telemetry.FloatCol("total_s"), telemetry.FloatCol("makespan_norm"),
+		telemetry.FloatCol("improvement_pct"),
+	)
+	sc := QuickScale
+	if !opts.Quick {
+		sc = TableIScales[0]
+	}
+	steps := opts.steps()
+
+	// Ablation 1: measured vs unit costs, end to end. With unit costs the
+	// cost-aware machinery degenerates to count balancing and the gains
+	// over baseline should mostly vanish.
+	base := runSedov(sedovConfig(sc, placement.Baseline{}, steps, opts.Seed))
+	for _, measured := range []bool{true, false} {
+		cfg := sedovConfig(sc, placement.CPLX{X: 50}, steps, opts.Seed)
+		cfg.UseMeasuredCosts = measured
+		res := runSedov(cfg)
+		variant := "unit-costs"
+		if measured {
+			variant = "measured-costs"
+		}
+		imp := 100 * (base.Phases.Total() - res.Phases.Total()) / base.Phases.Total()
+		out.Append("cost-source", variant, res.Phases.Total(), 0.0, imp)
+	}
+
+	// Ablation 2: both-ends vs top-only rebalancing (placement-level, over
+	// heavy-tailed synthetic costs). Top-only selection lacks underloaded
+	// destination ranks, so its makespan barely improves on CDP.
+	// Gaussian costs at 4.5 blocks/rank: the regime where the bound is the
+	// average (not one fat-tailed block), so rebalancing quality shows.
+	rng := xrand.New(opts.Seed + 7)
+	ranks := 256
+	costs := cost.Sample(cost.Gaussian{Mean: 1, SD: 0.3}, ranks*4+ranks/2, rng)
+	lb := placement.LowerBound(costs, ranks)
+	for _, pol := range []placement.Policy{
+		placement.CPLX{X: 50},
+		placement.CPLX{X: 50, TopOnly: true},
+		placement.CPLX{X: 0},
+	} {
+		a := pol.Assign(costs, ranks)
+		out.Append("rebalance-ends", pol.Name(), 0.0,
+			placement.Makespan(costs, a, ranks)/lb, 0.0)
+	}
+
+	// Ablation 3: EWMA smoothing factor for measured costs. Alpha 1 chases
+	// per-step noise; tiny alpha lags the moving shock front.
+	for _, alpha := range []float64{1.0, 0.5, 0.1} {
+		cfg := sedovConfig(sc, placement.CPLX{X: 50}, steps, opts.Seed)
+		cfg.CostAlpha = alpha
+		res := runSedov(cfg)
+		imp := 100 * (base.Phases.Total() - res.Phases.Total()) / base.Phases.Total()
+		variant := "alpha-1.0"
+		switch alpha {
+		case 0.5:
+			variant = "alpha-0.5"
+		case 0.1:
+			variant = "alpha-0.1"
+		}
+		out.Append("ewma-alpha", variant, res.Phases.Total(), 0.0, imp)
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"amrtools/internal/cost"
+	"amrtools/internal/mesh"
+	"amrtools/internal/mpi"
+	"amrtools/internal/placement"
+	"amrtools/internal/sim"
+	"amrtools/internal/simnet"
+	"amrtools/internal/stats"
+	"amrtools/internal/telemetry"
+	"amrtools/internal/xrand"
+)
+
+// Fig7a is commbench (§VI-C): isolate boundary communication on synthetic
+// octree meshes (1–2 blocks per rank, realistic refinement) and measure
+// end-to-end round latency as placement locality decreases from CPL0 to
+// CPL100. Results average over several random meshes and many rounds;
+// cold-start rounds and >10 ms outliers (fabric recovery, unrelated to
+// placement) are discarded, exactly as the paper does.
+//
+// Columns: ranks, policy, mean_round_ms, p99_round_ms, remote_share.
+func Fig7a(opts Options) *telemetry.Table {
+	out := telemetry.NewTable(
+		telemetry.IntCol("ranks"), telemetry.StrCol("policy"),
+		telemetry.FloatCol("mean_round_ms"), telemetry.FloatCol("p99_round_ms"),
+		telemetry.FloatCol("remote_share"),
+	)
+	type scale struct {
+		ranks    int
+		rootDims [3]int
+	}
+	scales := []scale{{512, [3]int{8, 8, 8}}, {2048, [3]int{8, 16, 16}}}
+	meshes, rounds := 5, 20
+	if opts.Quick {
+		scales = []scale{{128, [3]int{4, 4, 8}}}
+		meshes, rounds = 2, 8
+	}
+	for _, sc := range scales {
+		for _, x := range []int{0, 25, 50, 75, 100} {
+			pol := placement.CPLX{X: x, ChunkSize: chunkFor(sc.ranks)}
+			var lats []float64
+			var remoteShare float64
+			rng := xrand.New(opts.Seed + uint64(sc.ranks))
+			for m := 0; m < meshes; m++ {
+				ls, rs := commbenchMesh(sc.ranks, sc.rootDims, pol, rounds, rng.Split())
+				lats = append(lats, ls...)
+				remoteShare += rs
+			}
+			if len(lats) == 0 {
+				continue
+			}
+			out.Append(sc.ranks, pol.Name(),
+				stats.Mean(lats)*1e3, stats.Percentile(lats, 99)*1e3,
+				remoteShare/float64(meshes))
+		}
+	}
+	return out
+}
+
+// CommbenchConfig parameterizes a standalone commbench run (the cmd/commbench
+// binary); placement policies are drop-in by name.
+type CommbenchConfig struct {
+	Ranks    int
+	Policies []string
+	Meshes   int
+	Rounds   int
+	Seed     uint64
+}
+
+// Commbench runs the boundary-communication microbenchmark for an arbitrary
+// policy list. Ranks must be a power of two (the synthetic root grid is
+// built by successive doubling).
+//
+// Columns: ranks, policy, mean_round_ms, p99_round_ms, remote_share.
+func Commbench(cfg CommbenchConfig) (*telemetry.Table, error) {
+	rootDims, err := cubeDims(cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Meshes <= 0 || cfg.Rounds <= 1 {
+		return nil, fmt.Errorf("experiments: commbench needs >=1 mesh and >=2 rounds")
+	}
+	out := telemetry.NewTable(
+		telemetry.IntCol("ranks"), telemetry.StrCol("policy"),
+		telemetry.FloatCol("mean_round_ms"), telemetry.FloatCol("p99_round_ms"),
+		telemetry.FloatCol("remote_share"),
+	)
+	for _, name := range cfg.Policies {
+		pol, err := placement.ByName(name, chunkFor(cfg.Ranks))
+		if err != nil {
+			return nil, err
+		}
+		rng := xrand.New(cfg.Seed + uint64(cfg.Ranks))
+		var lats []float64
+		var remoteShare float64
+		for m := 0; m < cfg.Meshes; m++ {
+			ls, rs := commbenchMesh(cfg.Ranks, rootDims, pol, cfg.Rounds, rng.Split())
+			lats = append(lats, ls...)
+			remoteShare += rs
+		}
+		if len(lats) == 0 {
+			continue
+		}
+		out.Append(cfg.Ranks, pol.Name(),
+			stats.Mean(lats)*1e3, stats.Percentile(lats, 99)*1e3,
+			remoteShare/float64(cfg.Meshes))
+	}
+	return out, nil
+}
+
+// cubeDims builds a near-cubic root grid with the given product, doubling
+// the smallest dimension until the product is reached.
+func cubeDims(ranks int) ([3]int, error) {
+	dims := [3]int{1, 1, 1}
+	for dims[0]*dims[1]*dims[2] < ranks {
+		smallest := 0
+		for d := 1; d < 3; d++ {
+			if dims[d] < dims[smallest] {
+				smallest = d
+			}
+		}
+		dims[smallest] *= 2
+	}
+	if dims[0]*dims[1]*dims[2] != ranks {
+		return dims, fmt.Errorf("experiments: rank count %d is not a power of two", ranks)
+	}
+	return dims, nil
+}
+
+// commbenchMesh runs `rounds` boundary-exchange rounds over one random AMR
+// mesh under the given policy and returns kept round latencies plus the
+// remote message share. The first round (cold start) and rounds above the
+// 10 ms fabric-recovery threshold are discarded.
+//
+// commbench simulates the full placement pipeline (§VI-C): block "costs"
+// fed to the policy are per-block boundary-traffic volumes (face exchanges
+// dominate), so CPLX's rebalancing diffuses the communication hotspots that
+// strict locality preservation clusters onto few ranks — the mechanism
+// behind the latency inversion of Fig 7 (top).
+func commbenchMesh(ranks int, rootDims [3]int, pol placement.Policy, rounds int, rng *xrand.RNG) ([]float64, float64) {
+	target := ranks + ranks/2 // 1.5 blocks per rank
+	m := mesh.RandomRefined(rootDims[0], rootDims[1], rootDims[2], 3, target, rng)
+	leaves := m.Leaves()
+	n := len(leaves)
+
+	// Directed exchange inventory and per-block traffic volumes.
+	sizes := [3]int{16 * 16 * 2 * 9 * 8, 16 * 2 * 2 * 9 * 8, 2 * 2 * 2 * 9 * 8}
+	index := make(map[mesh.BlockID]int, n)
+	for i, b := range leaves {
+		index[b.ID] = i
+	}
+	type exch struct{ tag, from, to, size int }
+	var all []exch
+	traffic := make([]float64, n)
+	tag := 0
+	for i, b := range leaves {
+		for _, nb := range m.NeighborsOf(b.ID) {
+			j := index[nb.ID]
+			e := exch{tag: tag, from: i, to: j, size: sizes[int(nb.Kind)]}
+			tag++
+			all = append(all, e)
+			traffic[i] += float64(e.size)
+			traffic[j] += float64(e.size)
+		}
+	}
+	// Normalize traffic to unit mean so the policy sees familiar cost
+	// magnitudes.
+	mean := 0.0
+	for _, v := range traffic {
+		mean += v
+	}
+	mean /= float64(n)
+	for i := range traffic {
+		traffic[i] /= mean
+	}
+	assign := pol.Assign(traffic, ranks)
+
+	sends := make([][]exch, ranks)
+	recvs := make([][]exch, ranks)
+	for _, e := range all {
+		sr, dr := assign[e.from], assign[e.to]
+		if sr == dr {
+			continue
+		}
+		sends[sr] = append(sends[sr], e)
+		recvs[dr] = append(recvs[dr], e)
+	}
+
+	nodes := ranks / 16
+	if nodes == 0 {
+		nodes = 1
+	}
+	rpn := ranks / nodes
+	netCfg := simnet.Tuned(nodes, rpn, rng.Uint64())
+	netCfg.AckLossProb = 0 // commbench isolates placement effects
+	eng := sim.NewEngine()
+	net := simnet.New(eng, netCfg)
+	world := mpi.NewWorld(eng, net)
+
+	releases := make([]float64, 0, rounds)
+	for r := 0; r < ranks; r++ {
+		r := r
+		world.Spawn(r, func(c *mpi.Comm) {
+			for round := 0; round < rounds; round++ {
+				reqs := make([]*mpi.Request, 0, len(recvs[r])+len(sends[r]))
+				for _, e := range recvs[r] {
+					reqs = append(reqs, c.Irecv(assign[e.from], round*tag+e.tag))
+				}
+				for _, e := range sends[r] {
+					reqs = append(reqs, c.Isend(assign[e.to], round*tag+e.tag, e.size))
+				}
+				c.WaitAll(reqs)
+				c.Barrier()
+				if r == 0 {
+					releases = append(releases, c.Now())
+				}
+			}
+		})
+	}
+	eng.Run()
+	if blocked := eng.Blocked(); len(blocked) > 0 {
+		eng.Close()
+		panic(fmt.Sprintf("commbench deadlock: %d ranks blocked", len(blocked)))
+	}
+
+	var lats []float64
+	prev := 0.0
+	for i, rel := range releases {
+		lat := rel - prev
+		prev = rel
+		if i == 0 || lat > 10e-3 { // cold start / fabric-recovery outliers
+			continue
+		}
+		lats = append(lats, lat)
+	}
+	cs := net.Census
+	share := float64(cs.RemoteMsgs) / float64(cs.RemoteMsgs+cs.LocalMsgs)
+	return lats, share
+}
+
+// Fig7b is scalebench's makespan panel (§VI-C middle): normalized makespan
+// (relative to the trivial lower bound) across CPLX settings for the three
+// representative block-cost distributions, at 1.5 blocks per rank.
+//
+// Columns: ranks, dist, policy, norm_makespan.
+func Fig7b(opts Options) *telemetry.Table {
+	out := telemetry.NewTable(
+		telemetry.IntCol("ranks"), telemetry.StrCol("dist"),
+		telemetry.StrCol("policy"), telemetry.FloatCol("norm_makespan"),
+	)
+	scales := []int{512, 2048, 8192, 32768, 131072}
+	if opts.Quick {
+		scales = []int{512, 2048}
+	}
+	for _, ranks := range scales {
+		n := ranks + ranks/2
+		for _, dist := range cost.ScalebenchDistributions() {
+			rng := xrand.New(opts.Seed ^ uint64(ranks))
+			costs := cost.Sample(dist, n, rng)
+			lb := placement.LowerBound(costs, ranks)
+			policies := []placement.Policy{placement.Baseline{}}
+			for _, x := range []int{0, 25, 50, 75, 100} {
+				policies = append(policies, placement.CPLX{X: x, ChunkSize: 512})
+			}
+			for _, pol := range policies {
+				a := pol.Assign(costs, ranks)
+				out.Append(ranks, dist.Name(), pol.Name(),
+					placement.Makespan(costs, a, ranks)/lb)
+			}
+		}
+	}
+	return out
+}
+
+// Fig7c is scalebench's overhead panel (§VI-C bottom): wall-clock placement
+// computation time as a function of scale, for chunked CPLX and for the
+// zonal variant the paper recommends beyond 16K ranks. The paper's budget
+// line is 50 ms per redistribution.
+//
+// Columns: ranks, policy, placement_ms, within_50ms_budget (1/0).
+func Fig7c(opts Options) *telemetry.Table {
+	out := telemetry.NewTable(
+		telemetry.IntCol("ranks"), telemetry.StrCol("policy"),
+		telemetry.FloatCol("placement_ms"), telemetry.IntCol("within_50ms_budget"),
+	)
+	scales := []int{512, 2048, 8192, 16384, 65536, 131072}
+	if opts.Quick {
+		scales = []int{512, 2048, 8192}
+	}
+	for _, ranks := range scales {
+		n := ranks + ranks/2
+		rng := xrand.New(opts.Seed ^ uint64(ranks) ^ 0x7c)
+		costs := cost.Sample(cost.Exponential{Mean: 1}, n, rng)
+		policies := []placement.Policy{placement.CPLX{X: 50, ChunkSize: 512}}
+		if ranks >= 16384 {
+			policies = append(policies,
+				placement.Zonal{Inner: placement.CPLX{X: 50, ChunkSize: 512}, Zones: ranks / 8192})
+		}
+		for _, pol := range policies {
+			best := time.Duration(1 << 62)
+			for rep := 0; rep < 3; rep++ {
+				start := time.Now()
+				_ = pol.Assign(costs, ranks)
+				if d := time.Since(start); d < best {
+					best = d
+				}
+			}
+			within := 0
+			if best < 50*time.Millisecond {
+				within = 1
+			}
+			out.Append(ranks, pol.Name(), float64(best.Microseconds())/1e3, within)
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+
+	"amrtools/internal/mesh"
+	"amrtools/internal/mpi"
+	"amrtools/internal/placement"
+	"amrtools/internal/sim"
+	"amrtools/internal/simnet"
+	"amrtools/internal/stats"
+	"amrtools/internal/telemetry"
+	"amrtools/internal/xrand"
+)
+
+// NeighborhoodCollectives evaluates the §VIII related-work alternative the
+// paper's codes do not use: replacing per-boundary-element point-to-point
+// messages with rank-pair aggregation (the effect of MPI neighborhood
+// collectives — one combined message per communicating rank pair per
+// round). Aggregation amortizes per-message fabric overheads at the price
+// of coupling every boundary element between a rank pair to the slowest
+// byte of the bundle.
+//
+// Columns: ranks, mode, msgs_per_round, mean_round_ms, p99_round_ms.
+func NeighborhoodCollectives(opts Options) *telemetry.Table {
+	out := telemetry.NewTable(
+		telemetry.IntCol("ranks"), telemetry.StrCol("mode"),
+		telemetry.IntCol("msgs_per_round"), telemetry.FloatCol("mean_round_ms"),
+		telemetry.FloatCol("p99_round_ms"),
+	)
+	type scale struct {
+		ranks    int
+		rootDims [3]int
+	}
+	scales := []scale{{512, [3]int{8, 8, 8}}}
+	rounds, meshes := 15, 3
+	if opts.Quick {
+		scales = []scale{{128, [3]int{4, 4, 8}}}
+		rounds, meshes = 8, 2
+	}
+	for _, sc := range scales {
+		for _, aggregate := range []bool{false, true} {
+			rng := xrand.New(opts.Seed + uint64(sc.ranks) + 77)
+			var lats []float64
+			msgs := 0
+			for m := 0; m < meshes; m++ {
+				ls, nm := neighborhoodRound(sc.ranks, sc.rootDims, aggregate, rounds, rng.Split())
+				lats = append(lats, ls...)
+				msgs += nm
+			}
+			mode := "p2p"
+			if aggregate {
+				mode = "aggregated"
+			}
+			out.Append(sc.ranks, mode, msgs/meshes,
+				stats.Mean(lats)*1e3, stats.Percentile(lats, 99)*1e3)
+		}
+	}
+	return out
+}
+
+// neighborhoodRound measures boundary-exchange rounds either as raw P2P
+// (one message per boundary element) or aggregated per rank pair.
+func neighborhoodRound(ranks int, rootDims [3]int, aggregate bool, rounds int, rng *xrand.RNG) ([]float64, int) {
+	m := mesh.RandomRefined(rootDims[0], rootDims[1], rootDims[2], 3, ranks+ranks/2, rng)
+	leaves := m.Leaves()
+	n := len(leaves)
+	assign := placement.CPLX{X: 50}.Assign(unitCosts(n), ranks)
+
+	sizes := [3]int{16 * 16 * 2 * 9 * 8, 16 * 2 * 2 * 9 * 8, 2 * 2 * 2 * 9 * 8}
+	index := make(map[mesh.BlockID]int, n)
+	for i, b := range leaves {
+		index[b.ID] = i
+	}
+	type exch struct{ tag, src, dst, size int }
+	var plan []exch
+	if aggregate {
+		// One combined message per communicating rank pair.
+		bundle := map[[2]int]int{}
+		for i, b := range leaves {
+			for _, nb := range m.NeighborsOf(b.ID) {
+				sr, dr := assign[i], assign[index[nb.ID]]
+				if sr != dr {
+					bundle[[2]int{sr, dr}] += sizes[int(nb.Kind)]
+				}
+			}
+		}
+		// Deterministic order for tags.
+		tag := 0
+		for sr := 0; sr < ranks; sr++ {
+			for dr := 0; dr < ranks; dr++ {
+				if sz, ok := bundle[[2]int{sr, dr}]; ok {
+					plan = append(plan, exch{tag: tag, src: sr, dst: dr, size: sz})
+					tag++
+				}
+			}
+		}
+	} else {
+		tag := 0
+		for i, b := range leaves {
+			for _, nb := range m.NeighborsOf(b.ID) {
+				sr, dr := assign[i], assign[index[nb.ID]]
+				if sr != dr {
+					plan = append(plan, exch{tag: tag, src: sr, dst: dr, size: sizes[int(nb.Kind)]})
+					tag++
+				}
+			}
+		}
+	}
+	sends := make([][]exch, ranks)
+	recvs := make([][]exch, ranks)
+	for _, e := range plan {
+		sends[e.src] = append(sends[e.src], e)
+		recvs[e.dst] = append(recvs[e.dst], e)
+	}
+	total := len(plan)
+
+	nodes := ranks / 16
+	if nodes == 0 {
+		nodes = 1
+	}
+	netCfg := simnet.Tuned(nodes, ranks/nodes, rng.Uint64())
+	netCfg.AckLossProb = 0
+	eng := sim.NewEngine()
+	net := simnet.New(eng, netCfg)
+	world := mpi.NewWorld(eng, net)
+
+	releases := make([]float64, 0, rounds)
+	for r := 0; r < ranks; r++ {
+		r := r
+		world.Spawn(r, func(c *mpi.Comm) {
+			for round := 0; round < rounds; round++ {
+				reqs := make([]*mpi.Request, 0, len(recvs[r])+len(sends[r]))
+				for _, e := range recvs[r] {
+					reqs = append(reqs, c.Irecv(e.src, round*total+e.tag))
+				}
+				for _, e := range sends[r] {
+					reqs = append(reqs, c.Isend(e.dst, round*total+e.tag, e.size))
+				}
+				c.WaitAll(reqs)
+				c.Barrier()
+				if r == 0 {
+					releases = append(releases, c.Now())
+				}
+			}
+		})
+	}
+	eng.Run()
+	if blocked := eng.Blocked(); len(blocked) > 0 {
+		eng.Close()
+		panic(fmt.Sprintf("neighborhood round deadlock: %d blocked", len(blocked)))
+	}
+	var lats []float64
+	prev := 0.0
+	for i, rel := range releases {
+		lat := rel - prev
+		prev = rel
+		if i == 0 {
+			continue
+		}
+		lats = append(lats, lat)
+	}
+	return lats, total
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; wall-clock
+// budget assertions are skipped under its ~10-20x instrumentation overhead.
+const raceEnabled = false

@@ -1,0 +1,153 @@
+// Package mesh implements the block-structured AMR mesh substrate the
+// paper's placement policies operate on: an octree forest over a grid of
+// root blocks, refinement and coarsening with 2:1 level balance, 26-neighbor
+// enumeration across refinement levels (faces, edges, vertices), and
+// Z-order/DFS leaf ordering (§II-A, §V-A, Fig 5 of the paper).
+//
+// Every leaf block carries the same number of computational cells regardless
+// of refinement level (block-based AMR), so refinement changes spatial
+// resolution and neighbor topology but not per-block cell counts — which is
+// why per-block compute cost is not a function of spatial area (§II-B).
+package mesh
+
+import (
+	"fmt"
+
+	"amrtools/internal/sfc"
+)
+
+// BlockID identifies a block by its refinement level and integer coordinates
+// in level-local units: at level L the domain spans RootDims[d] << L blocks
+// along dimension d.
+type BlockID struct {
+	Level   int
+	X, Y, Z uint32
+}
+
+// String renders the ID as L{level}:(x,y,z).
+func (id BlockID) String() string {
+	return fmt.Sprintf("L%d:(%d,%d,%d)", id.Level, id.X, id.Y, id.Z)
+}
+
+// Parent returns the ID of the block's parent (one level coarser).
+// It panics when called on a level-0 (root) block.
+func (id BlockID) Parent() BlockID {
+	if id.Level == 0 {
+		panic("mesh: Parent of root block")
+	}
+	return BlockID{Level: id.Level - 1, X: id.X >> 1, Y: id.Y >> 1, Z: id.Z >> 1}
+}
+
+// Children returns the IDs of the block's 8 children in Z order
+// (x fastest, then y, then z) — the order a depth-first octree traversal
+// visits them.
+func (id BlockID) Children() [8]BlockID {
+	var out [8]BlockID
+	i := 0
+	for dz := uint32(0); dz < 2; dz++ {
+		for dy := uint32(0); dy < 2; dy++ {
+			for dx := uint32(0); dx < 2; dx++ {
+				out[i] = BlockID{Level: id.Level + 1, X: id.X<<1 | dx, Y: id.Y<<1 | dy, Z: id.Z<<1 | dz}
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// ChildIndex returns which of its parent's 8 children this block is,
+// in the same Z order used by Children.
+func (id BlockID) ChildIndex() int {
+	return int(id.X&1) | int(id.Y&1)<<1 | int(id.Z&1)<<2
+}
+
+// Key returns the block's Z-order SFC key normalized to maxLevel: the Morton
+// code of the block's origin cell at the finest resolution. Ordering leaves
+// by Key is exactly the depth-first traversal of the octree forest.
+func (id BlockID) Key(maxLevel int) uint64 {
+	return sfc.Key3DAtLevel(id.X, id.Y, id.Z, id.Level, maxLevel)
+}
+
+// Bounds returns the block's axis-aligned extent in root-block units:
+// the physical domain is [0, RootDims[0]] × [0, RootDims[1]] × [0, RootDims[2]].
+func (id BlockID) Bounds() (lo, hi [3]float64) {
+	scale := 1.0 / float64(uint32(1)<<uint(id.Level))
+	lo = [3]float64{float64(id.X) * scale, float64(id.Y) * scale, float64(id.Z) * scale}
+	hi = [3]float64{lo[0] + scale, lo[1] + scale, lo[2] + scale}
+	return lo, hi
+}
+
+// Center returns the block's center point in root-block units.
+func (id BlockID) Center() [3]float64 {
+	lo, hi := id.Bounds()
+	return [3]float64{(lo[0] + hi[0]) / 2, (lo[1] + hi[1]) / 2, (lo[2] + hi[2]) / 2}
+}
+
+// NeighborKind classifies the geometric adjacency between two blocks.
+// In 3D a block has up to 26 neighbor directions: 6 faces, 12 edges,
+// 8 vertices (§II-B). Boundary-exchange message volume depends on the kind:
+// face exchanges carry a 2-D slab of ghost cells, edge exchanges a 1-D
+// pencil, vertex exchanges a corner.
+type NeighborKind uint8
+
+const (
+	// Face adjacency: the blocks share a 2-D face.
+	Face NeighborKind = iota
+	// Edge adjacency: the blocks share a 1-D edge.
+	Edge
+	// Vertex adjacency: the blocks share a single corner point.
+	Vertex
+)
+
+// String returns "face", "edge", or "vertex".
+func (k NeighborKind) String() string {
+	switch k {
+	case Face:
+		return "face"
+	case Edge:
+		return "edge"
+	case Vertex:
+		return "vertex"
+	}
+	return "unknown"
+}
+
+// KindOf returns the adjacency kind of a direction vector with components
+// in {-1, 0, 1}. It panics on the zero vector.
+func KindOf(dx, dy, dz int) NeighborKind {
+	nz := 0
+	if dx != 0 {
+		nz++
+	}
+	if dy != 0 {
+		nz++
+	}
+	if dz != 0 {
+		nz++
+	}
+	switch nz {
+	case 1:
+		return Face
+	case 2:
+		return Edge
+	case 3:
+		return Vertex
+	}
+	panic("mesh: KindOf zero direction")
+}
+
+// Neighbor is one adjacency of a block: the neighboring leaf and the kind of
+// contact. When a same-level neighbor position is covered by a coarser or
+// finer leaf, ID names that actual leaf.
+type Neighbor struct {
+	ID   BlockID
+	Kind NeighborKind
+}
+
+// Block is one leaf of the mesh octree. SFCIndex is the block's position in
+// the current Z-order leaf ordering (the "block ID" of §V-A2), maintained by
+// the Mesh and recomputed after every refinement or coarsening.
+type Block struct {
+	ID       BlockID
+	SFCIndex int
+}

@@ -1,0 +1,163 @@
+package mesh
+
+import (
+	"sort"
+
+	"amrtools/internal/xrand"
+)
+
+// RefineWhere refines every leaf whose bounds satisfy pred until no leaf
+// satisfying pred can be refined further (each pass refines the current
+// generation; newly created children are re-tested on the next pass, so a
+// predicate that keeps matching drives blocks to maxLevel). It returns the
+// number of refinement operations performed.
+func (m *Mesh) RefineWhere(pred func(id BlockID) bool) int {
+	refined := 0
+	for {
+		var tagged []BlockID
+		for id := range m.leaves {
+			if m.CanRefine(id) && pred(id) {
+				tagged = append(tagged, id)
+			}
+		}
+		if len(tagged) == 0 {
+			return refined
+		}
+		// Deterministic order: refinement ripples depend on ordering.
+		sort.Slice(tagged, func(i, j int) bool {
+			return tagged[i].Key(m.maxLevel) < tagged[j].Key(m.maxLevel)
+		})
+		for _, id := range tagged {
+			if m.IsLeaf(id) { // may have been split by an earlier ripple
+				m.refineBalanced(id)
+				refined++
+			}
+		}
+	}
+}
+
+// RefineOnce refines exactly the current leaves satisfying pred (one
+// generation, no fixpoint iteration). It returns the number of refinements.
+func (m *Mesh) RefineOnce(pred func(id BlockID) bool) int {
+	var tagged []BlockID
+	for id := range m.leaves {
+		if m.CanRefine(id) && pred(id) {
+			tagged = append(tagged, id)
+		}
+	}
+	sort.Slice(tagged, func(i, j int) bool {
+		return tagged[i].Key(m.maxLevel) < tagged[j].Key(m.maxLevel)
+	})
+	n := 0
+	for _, id := range tagged {
+		if m.IsLeaf(id) {
+			m.refineBalanced(id)
+			n++
+		}
+	}
+	return n
+}
+
+// CoarsenWhere merges every sibling octet whose 8 children all satisfy pred
+// and whose merge preserves 2:1 balance. One pass only (no fixpoint); returns
+// the number of merges performed.
+func (m *Mesh) CoarsenWhere(pred func(id BlockID) bool) int {
+	// Group leaves by parent.
+	count := make(map[BlockID]int)
+	for id := range m.leaves {
+		if id.Level == 0 {
+			continue
+		}
+		if pred(id) {
+			count[id.Parent()]++
+		}
+	}
+	var parents []BlockID
+	for p, c := range count {
+		if c == 8 {
+			parents = append(parents, p)
+		}
+	}
+	sort.Slice(parents, func(i, j int) bool {
+		return parents[i].Key(m.maxLevel) < parents[j].Key(m.maxLevel)
+	})
+	n := 0
+	for _, p := range parents {
+		if m.CanCoarsen(p) {
+			if err := m.Coarsen(p); err == nil {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RandomRefined builds a randomly refined mesh for synthetic experiments
+// (commbench §VI-C): starting from an nx×ny×nz root grid it refines random
+// leaves until at least targetLeaves leaves exist or no refinement is
+// possible. Refinement is spatially clustered (a random set of attractor
+// points) to mimic the localized refinement of physical problems rather than
+// uniform noise.
+func RandomRefined(nx, ny, nz, maxLevel, targetLeaves int, rng *xrand.RNG) *Mesh {
+	m := NewUniform(nx, ny, nz, maxLevel)
+	if targetLeaves <= m.NumLeaves() {
+		return m
+	}
+	// Attractors: refinement probability decays with distance to the nearest
+	// attractor, producing realistic clustered refinement regions.
+	nAttract := 1 + rng.Intn(4)
+	attract := make([][3]float64, nAttract)
+	dims := m.RootDims()
+	for i := range attract {
+		attract[i] = [3]float64{
+			rng.Float64() * float64(dims[0]),
+			rng.Float64() * float64(dims[1]),
+			rng.Float64() * float64(dims[2]),
+		}
+	}
+	distToAttractor := func(id BlockID) float64 {
+		c := id.Center() // already in root-block units, spanning [0, dims]
+		best := -1.0
+		for _, a := range attract {
+			d := 0.0
+			for k := 0; k < 3; k++ {
+				dd := c[k] - a[k]
+				d += dd * dd
+			}
+			if best < 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	for m.NumLeaves() < targetLeaves {
+		// Pick the refinable leaf closest to an attractor among a random
+		// sample; refine it.
+		leaves := m.Leaves()
+		bestIdx, bestDist := -1, 0.0
+		for tries := 0; tries < 16; tries++ {
+			i := rng.Intn(len(leaves))
+			if !m.CanRefine(leaves[i].ID) {
+				continue
+			}
+			d := distToAttractor(leaves[i].ID)
+			if bestIdx < 0 || d < bestDist {
+				bestIdx, bestDist = i, d
+			}
+		}
+		if bestIdx < 0 {
+			// Sampling missed; scan for any refinable leaf.
+			for _, b := range leaves {
+				if m.CanRefine(b.ID) {
+					bestIdx = b.SFCIndex
+					break
+				}
+			}
+			if bestIdx < 0 {
+				break // fully refined
+			}
+		}
+		m.refineBalanced(leaves[bestIdx].ID)
+	}
+	return m
+}

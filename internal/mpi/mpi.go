@@ -1,0 +1,324 @@
+// Package mpi implements an MPI-like message-passing runtime over the
+// discrete-event simulator: non-blocking point-to-point operations
+// (Isend/Irecv/Wait), barriers with tree-release latency, and per-rank phase
+// accounting (compute / P2P wait / synchronization / rebalance) matching the
+// decomposition of the paper's Fig 6a.
+//
+// Semantics follow the subset of MPI the paper's codes rely on: Isend and
+// Irecv post immediately and return requests; Wait blocks until completion;
+// message matching is FIFO per (source, tag) pair. Sender-side request
+// completion is where the fabric's missing-ACK recovery path surfaces
+// (§IV-B): without the drain-queue mitigation, MPI_Wait on a send request
+// occasionally stalls for milliseconds.
+package mpi
+
+import (
+	"fmt"
+
+	"amrtools/internal/sim"
+	"amrtools/internal/simnet"
+	"amrtools/internal/xrand"
+)
+
+// Meter accumulates per-rank phase times and message counters. The driver
+// snapshots and resets meters at telemetry-window boundaries.
+type Meter struct {
+	Compute   float64 // time in compute kernels
+	CommWait  float64 // time blocked in Wait on P2P requests
+	Sync      float64 // time blocked in barriers (arrival → release)
+	Rebalance float64 // time charged to redistribution
+
+	MsgsSent  int64
+	MsgsRecvd int64
+	BytesSent int64
+	Waits     int64 // number of Wait calls that actually blocked
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() { *m = Meter{} }
+
+// Total returns the sum of all phase buckets.
+func (m *Meter) Total() float64 { return m.Compute + m.CommWait + m.Sync + m.Rebalance }
+
+// WaitKind distinguishes which request type a Wait observed, for telemetry.
+type WaitKind uint8
+
+const (
+	// WaitSend is a wait on a send request.
+	WaitSend WaitKind = iota
+	// WaitRecv is a wait on a receive request.
+	WaitRecv
+)
+
+// World is one simulated MPI job: a set of ranks over a Network.
+type World struct {
+	eng    *sim.Engine
+	net    *simnet.Network
+	nranks int
+
+	meters []Meter
+	rngs   []*xrand.RNG
+
+	// mailbox[dst] holds arrived-but-unmatched messages; recvq[dst] holds
+	// posted-but-unmatched receives. Matching is FIFO per key.
+	mailbox []map[msgKey][]*arrival
+	recvq   []map[msgKey][]*Request
+
+	barrier *barrierState
+
+	// OnWait, when set, observes every blocking Wait (rank, kind,
+	// duration). The telemetry collector hooks in here to catch the
+	// MPI_Wait spikes of Fig 1b.
+	OnWait func(rank int, kind WaitKind, dur float64)
+}
+
+type msgKey struct{ src, tag int }
+
+type arrival struct{ bytes int }
+
+// NewWorld creates a world with one rank per network endpoint.
+func NewWorld(eng *sim.Engine, net *simnet.Network) *World {
+	n := net.NumRanks()
+	w := &World{
+		eng:     eng,
+		net:     net,
+		nranks:  n,
+		meters:  make([]Meter, n),
+		rngs:    make([]*xrand.RNG, n),
+		mailbox: make([]map[msgKey][]*arrival, n),
+		recvq:   make([]map[msgKey][]*Request, n),
+	}
+	seedRoot := xrand.New(net.Config().Seed ^ 0x5eed)
+	for i := 0; i < n; i++ {
+		w.rngs[i] = seedRoot.Split()
+		w.mailbox[i] = make(map[msgKey][]*arrival)
+		w.recvq[i] = make(map[msgKey][]*Request)
+	}
+	return w
+}
+
+// NumRanks returns the number of ranks.
+func (w *World) NumRanks() int { return w.nranks }
+
+// Net returns the underlying network.
+func (w *World) Net() *simnet.Network { return w.net }
+
+// Engine returns the underlying simulation engine.
+func (w *World) Engine() *sim.Engine { return w.eng }
+
+// Meter returns rank's accumulator.
+func (w *World) Meter(rank int) *Meter { return &w.meters[rank] }
+
+// Spawn starts rank's program as a simulated process. body receives the
+// rank-bound communicator.
+func (w *World) Spawn(rank int, body func(c *Comm)) {
+	if rank < 0 || rank >= w.nranks {
+		panic(fmt.Sprintf("mpi: spawn of invalid rank %d", rank))
+	}
+	w.eng.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+		body(&Comm{w: w, rank: rank, p: p})
+	})
+}
+
+// Request is a non-blocking operation handle.
+type Request struct {
+	fut   *sim.Future
+	kind  WaitKind
+	bytes int
+}
+
+// Done reports whether the request has completed.
+func (r *Request) Done() bool { return r.fut.Done() }
+
+// Comm is a rank-bound communicator; all calls must happen on the rank's
+// own process.
+type Comm struct {
+	w    *World
+	rank int
+	p    *sim.Proc
+}
+
+// Rank returns the caller's rank id.
+func (c *Comm) Rank() int { return c.rank }
+
+// Now returns the current virtual time.
+func (c *Comm) Now() sim.Time { return c.p.Now() }
+
+// World returns the communicator's world.
+func (c *Comm) World() *World { return c.w }
+
+// Isend posts a non-blocking send of bytes to dst with the given tag and
+// returns the sender-side request. The message is injected into the fabric
+// immediately; the request completes when the fabric releases the send
+// buffer (usually ~SendOverhead, but the ACK-recovery fault can stretch it).
+func (c *Comm) Isend(dst, tag, bytes int) *Request {
+	if dst == c.rank {
+		panic("mpi: Isend to self; intra-rank exchanges use memcpy")
+	}
+	w := c.w
+	m := &w.meters[c.rank]
+	m.MsgsSent++
+	m.BytesSent += int64(bytes)
+	plan := w.net.PlanSend(c.rank, dst, bytes)
+	req := &Request{fut: sim.NewFuture(), kind: WaitSend, bytes: bytes}
+	src := c.rank
+	w.eng.After(plan.SenderDoneAfter, func() { req.fut.Complete(w.eng) })
+	w.eng.After(plan.DeliverAfter, func() {
+		w.net.DeliveryDone(src, plan)
+		w.deliver(dst, msgKey{src: src, tag: tag}, bytes)
+	})
+	return req
+}
+
+// deliver matches an arrived message against posted receives or queues it.
+func (w *World) deliver(dst int, key msgKey, bytes int) {
+	if q := w.recvq[dst][key]; len(q) > 0 {
+		req := q[0]
+		w.recvq[dst][key] = q[1:]
+		req.bytes = bytes
+		w.meters[dst].MsgsRecvd++
+		req.fut.Complete(w.eng)
+		return
+	}
+	w.mailbox[dst][key] = append(w.mailbox[dst][key], &arrival{bytes: bytes})
+}
+
+// Irecv posts a non-blocking receive for a message from src with the given
+// tag. If a matching message already arrived, the request is born complete.
+func (c *Comm) Irecv(src, tag int) *Request {
+	w := c.w
+	key := msgKey{src: src, tag: tag}
+	req := &Request{fut: sim.NewFuture(), kind: WaitRecv}
+	if q := w.mailbox[c.rank][key]; len(q) > 0 {
+		req.bytes = q[0].bytes
+		w.mailbox[c.rank][key] = q[1:]
+		w.meters[c.rank].MsgsRecvd++
+		req.fut.Complete(w.eng)
+		return req
+	}
+	w.recvq[c.rank][key] = append(w.recvq[c.rank][key], req)
+	return req
+}
+
+// Wait blocks until the request completes, charging the blocked time to the
+// rank's CommWait bucket and reporting it to OnWait.
+func (c *Comm) Wait(req *Request) {
+	if req.Done() {
+		return
+	}
+	m := &c.w.meters[c.rank]
+	start := c.p.Now()
+	c.p.Await(req.fut)
+	dur := c.p.Now() - start
+	m.CommWait += dur
+	m.Waits++
+	if c.w.OnWait != nil {
+		c.w.OnWait(c.rank, req.kind, dur)
+	}
+}
+
+// WaitAll waits on every request in order.
+func (c *Comm) WaitAll(reqs []*Request) {
+	for _, r := range reqs {
+		c.Wait(r)
+	}
+}
+
+type barrierState struct {
+	fut     *sim.Future
+	arrived int
+	sum     float64
+	// op guards against mismatched collectives: every rank in a round must
+	// call the same operation (as MPI requires).
+	op string
+}
+
+// joinCollective registers the caller in the current collective round,
+// enforcing that all ranks call the same operation.
+func (w *World) joinCollective(op string) *barrierState {
+	if w.barrier == nil {
+		w.barrier = &barrierState{fut: sim.NewFuture(), op: op}
+	}
+	b := w.barrier
+	if b.op != op {
+		panic(fmt.Sprintf("mpi: mismatched collectives in one round: %s vs %s", b.op, op))
+	}
+	b.arrived++
+	return b
+}
+
+// Barrier blocks until every rank in the world has arrived, then releases
+// all ranks after the collective's tree latency. The blocked interval
+// (arrival → release) is charged to the Sync bucket — the paper's
+// synchronization phase.
+func (c *Comm) Barrier() {
+	w := c.w
+	b := w.joinCollective("barrier")
+	arrivedAt := c.p.Now()
+	if b.arrived == w.nranks {
+		w.barrier = nil // next Barrier call starts a new round
+		release := w.net.CollectiveLatency(w.nranks)
+		w.eng.After(release, func() { b.fut.Complete(w.eng) })
+	}
+	c.p.Await(b.fut)
+	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
+}
+
+// AllreduceSum performs a blocking sum-allreduce over all ranks: every rank
+// contributes v and receives the global sum. Like Barrier, it releases after
+// the last arrival plus the collective tree latency (doubled: reduce +
+// broadcast) and charges the blocked interval to the Sync bucket — these are
+// the implicit synchronizations of §II-B that force every rank to observe
+// the straggler.
+func (c *Comm) AllreduceSum(v float64) float64 {
+	w := c.w
+	b := w.joinCollective("allreduce")
+	b.sum += v
+	arrivedAt := c.p.Now()
+	if b.arrived == w.nranks {
+		w.barrier = nil
+		release := 2 * w.net.CollectiveLatency(w.nranks)
+		w.eng.After(release, func() { b.fut.Complete(w.eng) })
+	}
+	c.p.Await(b.fut)
+	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
+	return b.sum
+}
+
+// Compute runs a compute kernel of the given nominal cost (seconds on a
+// healthy node), applying the node's throttle factor and OS jitter. It
+// returns the actual duration, which is also the measured per-block compute
+// time the telemetry feeds back into placement.
+func (c *Comm) Compute(cost float64) float64 {
+	dur := cost * c.w.net.ComputeFactor(c.rank) * c.jitter()
+	c.p.Sleep(dur)
+	c.w.meters[c.rank].Compute += dur
+	return dur
+}
+
+// jitter returns this rank's multiplicative OS-noise factor.
+func (c *Comm) jitter() float64 {
+	j := c.w.net.Config().Jitter
+	if j == 0 {
+		return 1
+	}
+	v := c.w.rngs[c.rank].NormFloat64()
+	if v < 0 {
+		v = -v
+	}
+	return 1 + j*v
+}
+
+// ChargeRebalance sleeps for d and charges it to the Rebalance bucket
+// (placement computation + migration time during redistribution).
+func (c *Comm) ChargeRebalance(d float64) {
+	if d < 0 {
+		panic("mpi: negative rebalance charge")
+	}
+	c.p.Sleep(d)
+	c.w.meters[c.rank].Rebalance += d
+}
+
+// IntraRank records a co-located block-pair exchange (memcpy, no MPI
+// message, negligible time at these block sizes).
+func (c *Comm) IntraRank() { c.w.net.RecordIntraRank() }

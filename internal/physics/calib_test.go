@@ -1,0 +1,34 @@
+package physics
+
+import (
+	"testing"
+
+	"amrtools/internal/mesh"
+)
+
+// Regression test for the Table I block-growth calibration: an 8×8×8 root
+// grid (the paper's 512-rank configuration) must grow from 512 leaves into
+// the ~2000–3000 range (paper: 2080), staying in the few-blocks-per-rank
+// regime throughout.
+func TestSedovBlockGrowthMatchesTableI(t *testing.T) {
+	m := mesh.NewUniform(8, 8, 8, 2)
+	s := NewSedov([3]int{8, 8, 8}, 60, 1)
+	peak := m.NumLeaves()
+	for step := 5; step < 60; step += 5 {
+		m.RefineOnce(func(id mesh.BlockID) bool { return s.WantRefine(id, step) })
+		m.CoarsenWhere(func(id mesh.BlockID) bool { return s.WantCoarsen(id, step) })
+		if n := m.NumLeaves(); n > peak {
+			peak = n
+		}
+		if _, _, ok := m.CheckBalance(); !ok {
+			t.Fatalf("balance broken at step %d", step)
+		}
+	}
+	final := m.NumLeaves()
+	if final < 1500 || final > 3200 {
+		t.Fatalf("final leaves = %d, want ~2080 (paper Table I)", final)
+	}
+	if peak > 4000 {
+		t.Fatalf("peak leaves = %d, block growth explosion", peak)
+	}
+}

@@ -1,0 +1,307 @@
+package placement
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CDP is the Contiguous-DP policy (§V-C): partition the SFC-ordered blocks
+// into r contiguous segments minimizing the maximum segment cost (makespan),
+// so it load-balances while preserving exactly the locality structure of the
+// baseline.
+//
+// Restricted (the default, as in the paper) considers only the two chunk
+// sizes ⌊n/r⌋ and ⌈n/r⌉, reducing complexity from O(n²r) to O(nr) while
+// retaining solution quality; the DP is optimal within the explored sizes.
+//
+// ChunkSize > 0 enables the hierarchical chunking of §V-C ("Scaling CDP"):
+// blocks are pre-split into contiguous super-chunks of approximately equal
+// cost, each handled by an equal share of ranks in parallel. Chunking trades
+// a little solution quality for placement latency; the paper uses 512 ranks
+// per chunk at 4096 ranks.
+type CDP struct {
+	// Restricted limits segment sizes to {⌊n/r⌋, ⌈n/r⌉}. The unrestricted
+	// O(n²r) DP is exact over all contiguous partitions but too slow beyond
+	// small instances.
+	Restricted bool
+	// ChunkSize, when > 0, is the number of ranks per parallel chunk.
+	ChunkSize int
+}
+
+// Name returns "cdp", "cdp-full", or "cdp-chunked<k>".
+func (c CDP) Name() string {
+	switch {
+	case c.ChunkSize > 0:
+		return fmt.Sprintf("cdp-chunked%d", c.ChunkSize)
+	case !c.Restricted:
+		return "cdp-full"
+	default:
+		return "cdp"
+	}
+}
+
+// Assign partitions blocks contiguously to minimize makespan.
+func (c CDP) Assign(costs []float64, nranks int) Assignment {
+	if nranks <= 0 {
+		panic("placement: cdp with nranks <= 0")
+	}
+	if c.ChunkSize > 0 && nranks > c.ChunkSize {
+		return c.assignChunked(costs, nranks)
+	}
+	var sizes []int
+	if c.Restricted {
+		sizes = cdpRestrictedSizes(costs, nranks)
+	} else {
+		sizes = cdpFullSizes(costs, nranks)
+	}
+	return ContiguousFromSizes(len(costs), sizes)
+}
+
+// prefixSums returns W with W[i] = sum of costs[0:i].
+func prefixSums(costs []float64) []float64 {
+	w := make([]float64, len(costs)+1)
+	for i, c := range costs {
+		w[i+1] = w[i] + c
+	}
+	return w
+}
+
+// cdpRestrictedSizes solves the two-chunk-size DP.
+//
+// With floor = n/r and m = n mod r, a valid partition uses exactly m chunks
+// of size floor+1 and r-m of size floor. State (k, c): after k chunks, c of
+// them ceil-sized, covering exactly i = k*floor + c blocks. DP value is the
+// minimum makespan; transitions append one floor- or ceil-sized chunk.
+// Complexity O(r · (m+1)) time and memory — O(nr) worst case as in §V-C.
+func cdpRestrictedSizes(costs []float64, r int) []int {
+	n := len(costs)
+	if n == 0 {
+		return make([]int, r)
+	}
+	w := prefixSums(costs)
+	floor := n / r
+	m := n % r // number of ceil-sized chunks
+	const inf = 1e308
+
+	// dp[k][c] with c offset into [0, m]; choice[k][c] = true if the k-th
+	// chunk was ceil-sized.
+	dp := make([][]float64, r+1)
+	choice := make([][]bool, r+1)
+	for k := range dp {
+		dp[k] = make([]float64, m+1)
+		choice[k] = make([]bool, m+1)
+		for c := range dp[k] {
+			dp[k][c] = inf
+		}
+	}
+	dp[0][0] = 0
+	for k := 1; k <= r; k++ {
+		cMin := m - (r - k) // remaining chunks must absorb remaining ceils
+		if cMin < 0 {
+			cMin = 0
+		}
+		cMax := k
+		if cMax > m {
+			cMax = m
+		}
+		for c := cMin; c <= cMax; c++ {
+			i := k*floor + c // blocks covered
+			// Option 1: k-th chunk floor-sized, from state (k-1, c).
+			// (floor may be 0 when n < r: the chunk is then empty.)
+			if j := i - floor; j >= 0 && dp[k-1][c] < inf {
+				v := dp[k-1][c]
+				if seg := w[i] - w[j]; seg > v {
+					v = seg
+				}
+				if v < dp[k][c] {
+					dp[k][c] = v
+					choice[k][c] = false
+				}
+			}
+			// Option 2: k-th chunk ceil-sized, from state (k-1, c-1).
+			if c > 0 {
+				if j := i - (floor + 1); j >= 0 && dp[k-1][c-1] < inf {
+					v := dp[k-1][c-1]
+					if seg := w[i] - w[j]; seg > v {
+						v = seg
+					}
+					if v < dp[k][c] {
+						dp[k][c] = v
+						choice[k][c] = true
+					}
+				}
+			}
+		}
+	}
+	// Reconstruct chunk sizes.
+	sizes := make([]int, r)
+	c := m
+	for k := r; k >= 1; k-- {
+		if choice[k][c] {
+			sizes[k-1] = floor + 1
+			c--
+		} else {
+			sizes[k-1] = floor
+		}
+	}
+	return sizes
+}
+
+// cdpFullSizes solves the unrestricted contiguous partition DP
+// DP[i][k] = min over j < i of max(DP[j][k-1], W[i]-W[j]) in O(n²r).
+func cdpFullSizes(costs []float64, r int) []int {
+	n := len(costs)
+	if n == 0 {
+		return make([]int, r)
+	}
+	w := prefixSums(costs)
+	const inf = 1e308
+	prev := make([]float64, n+1)
+	cur := make([]float64, n+1)
+	// choiceAt[k][i] = j minimizing the transition into DP[i][k].
+	choiceAt := make([][]int32, r+1)
+	for k := range choiceAt {
+		choiceAt[k] = make([]int32, n+1)
+	}
+	for i := 0; i <= n; i++ {
+		prev[i] = inf
+	}
+	prev[0] = 0
+	for k := 1; k <= r; k++ {
+		for i := 0; i <= n; i++ {
+			cur[i] = inf
+		}
+		// DP[0][k] = 0: zero blocks on k ranks is valid (empty segments).
+		cur[0] = 0
+		for i := 1; i <= n; i++ {
+			// The transition max(DP[j][k-1], W[i]-W[j]) is unimodal in j:
+			// DP[j] non-increasing... not guaranteed monotonic in general
+			// with empty segments, so scan all j (n² as per the paper).
+			for j := 0; j < i; j++ {
+				if prev[j] >= inf {
+					continue
+				}
+				v := prev[j]
+				if seg := w[i] - w[j]; seg > v {
+					v = seg
+				}
+				if v < cur[i] {
+					cur[i] = v
+					choiceAt[k][i] = int32(j)
+				}
+			}
+		}
+		prev, cur = cur, prev
+	}
+	sizes := make([]int, r)
+	i := n
+	for k := r; k >= 1; k-- {
+		j := int(choiceAt[k][i])
+		if i == 0 {
+			j = 0
+		}
+		sizes[k-1] = i - j
+		i = j
+	}
+	return sizes
+}
+
+// assignChunked implements hierarchical chunking: split blocks into
+// nranks/ChunkSize contiguous super-chunks of approximately equal total
+// cost, then solve each super-chunk's restricted CDP in parallel with
+// ChunkSize ranks.
+func (c CDP) assignChunked(costs []float64, nranks int) Assignment {
+	n := len(costs)
+	nChunks := nranks / c.ChunkSize
+	if nranks%c.ChunkSize != 0 {
+		nChunks++
+	}
+	// Split blocks into nChunks contiguous pieces of ~equal cost using a
+	// greedy walk over the prefix sums.
+	w := prefixSums(costs)
+	bounds := make([]int, nChunks+1) // block index boundaries
+	bounds[nChunks] = n
+	target := w[n] / float64(nChunks)
+	j := 0
+	for k := 1; k < nChunks; k++ {
+		want := float64(k) * target
+		for j < n && w[j+1] < want {
+			j++
+		}
+		// Ensure each chunk keeps at least one block per rank if possible.
+		if j < k {
+			j = k
+		}
+		bounds[k] = j
+	}
+	// Rank ranges per chunk: spread ranks as evenly as block counts allow.
+	a := make(Assignment, n)
+	var wg sync.WaitGroup
+	rankLo := 0
+	for k := 0; k < nChunks; k++ {
+		ranks := nranks / nChunks
+		if k < nranks%nChunks {
+			ranks++
+		}
+		bLo, bHi := bounds[k], bounds[k+1]
+		wg.Add(1)
+		go func(bLo, bHi, rankLo, ranks int) {
+			defer wg.Done()
+			if bHi <= bLo {
+				return
+			}
+			sizes := cdpRestrictedSizes(costs[bLo:bHi], ranks)
+			idx := bLo
+			for rr, size := range sizes {
+				for s := 0; s < size; s++ {
+					a[idx] = rankLo + rr
+					idx++
+				}
+			}
+		}(bLo, bHi, rankLo, ranks)
+		rankLo += ranks
+	}
+	wg.Wait()
+	return a
+}
+
+// OptimalContiguousMakespan returns the exact optimal makespan over ALL
+// contiguous partitions of costs into at most r segments, via binary search
+// on the answer with a greedy feasibility check. It is the reference optimum
+// used to validate the CDP solutions in tests.
+func OptimalContiguousMakespan(costs []float64, r int) float64 {
+	if len(costs) == 0 || r <= 0 {
+		return 0
+	}
+	lo, hi := 0.0, 0.0
+	for _, c := range costs {
+		hi += c
+		if c > lo {
+			lo = c
+		}
+	}
+	feasible := func(cap float64) bool {
+		segs, cur := 1, 0.0
+		for _, c := range costs {
+			if cur+c > cap {
+				segs++
+				cur = c
+				if segs > r {
+					return false
+				}
+			} else {
+				cur += c
+			}
+		}
+		return true
+	}
+	for iter := 0; iter < 100 && hi-lo > 1e-12*(1+hi); iter++ {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

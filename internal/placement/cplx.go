@@ -1,0 +1,137 @@
+package placement
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CPLX is the paper's hybrid policy (§V-D): start from a locality-preserving
+// CDP placement, then strategically break locality only where it pays —
+// the most imbalanced ranks are stripped of their blocks and rebalanced with
+// LPT among themselves.
+//
+// The tunable parameter X ∈ [0, 100] selects X% of ranks for rebalancing,
+// half from each end of the load-sorted rank list: overloaded ranks supply
+// work, underloaded ranks absorb it — both ends are needed for
+// redistribution to be effective. X = 0 (CPL0) preserves CDP exactly;
+// X = 100 (CPL100) rebalances every rank, reproducing pure LPT's balance.
+type CPLX struct {
+	// X is the percentage of ranks to rebalance, in [0, 100].
+	X int
+	// ChunkSize, when > 0, enables hierarchical chunking for the CDP seed
+	// (the paper reuses the chunking mechanism for scalability).
+	ChunkSize int
+	// TopOnly is an ablation switch: select rebalancing ranks only from the
+	// overloaded end of the sorted list. The paper argues this cannot work
+	// ("including both ends is crucial, as rebalancing needs both source
+	// and destination ranks"); the ablation experiment confirms it.
+	TopOnly bool
+}
+
+// Name returns "cplX" (e.g. "cpl50"), with a "-toponly" suffix for the
+// ablation variant.
+func (p CPLX) Name() string {
+	if p.TopOnly {
+		return fmt.Sprintf("cpl%d-toponly", p.X)
+	}
+	return fmt.Sprintf("cpl%d", p.X)
+}
+
+// Assign computes the CPLX placement.
+func (p CPLX) Assign(costs []float64, nranks int) Assignment {
+	if nranks <= 0 {
+		panic("placement: cplx with nranks <= 0")
+	}
+	if p.X < 0 || p.X > 100 {
+		panic(fmt.Sprintf("placement: cplx X=%d out of [0,100]", p.X))
+	}
+	seed := CDP{Restricted: true, ChunkSize: p.ChunkSize}.Assign(costs, nranks)
+	if p.X == 0 || len(costs) == 0 {
+		return seed
+	}
+	a := append(Assignment(nil), seed...)
+	if p.TopOnly {
+		rebalance(costs, a, nranks, p.X, true)
+	} else {
+		RebalanceExtremes(costs, a, nranks, p.X)
+	}
+	return a
+}
+
+// RebalanceExtremes applies the CPLX rebalancing step in place: select the
+// x% most loaded and x/2%-from-each-end ranks of a, pool every block they
+// own, and re-place the pool across exactly those ranks with LPT. Ranks
+// outside the selection are untouched, preserving their locality.
+func RebalanceExtremes(costs []float64, a Assignment, nranks, x int) {
+	rebalance(costs, a, nranks, x, false)
+}
+
+// rebalance implements RebalanceExtremes; topOnly selects the x% budget
+// entirely from the overloaded end (the ablation of §V-D's "both ends"
+// design argument).
+func rebalance(costs []float64, a Assignment, nranks, x int, topOnly bool) {
+	loads := Loads(costs, a, nranks)
+	order := make([]int, nranks) // ranks sorted by descending load
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if loads[order[i]] != loads[order[j]] {
+			return loads[order[i]] > loads[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	if nranks < 2 {
+		return // single rank: nothing to trade
+	}
+	selected := make(map[int]bool)
+	var ranks []int
+	if topOnly {
+		// Ablation: the whole x% budget from the overloaded end.
+		k := nranks * x / 100
+		if k == 0 {
+			k = 1
+		}
+		if k > nranks {
+			k = nranks
+		}
+		for i := 0; i < k; i++ {
+			selected[order[i]] = true
+			ranks = append(ranks, order[i])
+		}
+	} else {
+		// Half the X% budget from each end; at least one from each end
+		// when X > 0 so small rank counts still rebalance. X = 100 selects
+		// every rank (including the middle one when nranks is odd), making
+		// CPL100 exactly pure LPT.
+		perEnd := nranks * x / 200
+		if x >= 100 {
+			perEnd = (nranks + 1) / 2
+		}
+		if perEnd == 0 {
+			perEnd = 1
+		}
+		if 2*perEnd > nranks+1 {
+			perEnd = (nranks + 1) / 2
+		}
+		for i := 0; i < perEnd; i++ {
+			for _, r := range []int{order[i], order[nranks-1-i]} {
+				if !selected[r] {
+					selected[r] = true
+					ranks = append(ranks, r)
+				}
+			}
+		}
+	}
+	sort.Ints(ranks) // deterministic rank ordering for the LPT heap
+	var pool []int
+	for b, r := range a {
+		if selected[r] {
+			pool = append(pool, b)
+		}
+	}
+	if len(pool) == 0 {
+		return
+	}
+	lptInto(costs, pool, ranks, nil, a)
+}

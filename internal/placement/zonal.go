@@ -1,0 +1,110 @@
+package placement
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Zonal wraps any policy with the zonal architecture the paper recommends
+// beyond ~16K ranks (§VI-C, Fig 7c): ranks are divided into Zones zones,
+// blocks are split into contiguous spans of approximately equal total cost,
+// and each zone computes its placement independently and in parallel.
+// Placement latency drops by roughly the zone count at a small cost in
+// global balance (imbalance *between* zones is not corrected).
+type Zonal struct {
+	// Inner is the per-zone policy (e.g. CPLX{X: 50}).
+	Inner Policy
+	// Zones is the number of independent placement zones (k in Zheng et
+	// al.'s hierarchical scheme).
+	Zones int
+}
+
+// Name returns "zonal<k>-<inner>".
+func (z Zonal) Name() string { return fmt.Sprintf("zonal%d-%s", z.Zones, z.Inner.Name()) }
+
+// Assign splits blocks and ranks into zones and runs Inner per zone
+// concurrently.
+func (z Zonal) Assign(costs []float64, nranks int) Assignment {
+	if nranks <= 0 {
+		panic("placement: zonal with nranks <= 0")
+	}
+	k := z.Zones
+	if k <= 1 || nranks < 2*k {
+		return z.Inner.Assign(costs, nranks)
+	}
+	n := len(costs)
+	w := prefixSums(costs)
+	bounds := make([]int, k+1)
+	bounds[k] = n
+	target := w[n] / float64(k)
+	j := 0
+	for zone := 1; zone < k; zone++ {
+		want := float64(zone) * target
+		for j < n && w[j+1] < want {
+			j++
+		}
+		if j < zone { // keep at least one block per zone when possible
+			j = zone
+		}
+		bounds[zone] = j
+	}
+	a := make(Assignment, n)
+	var wg sync.WaitGroup
+	rankLo := 0
+	for zone := 0; zone < k; zone++ {
+		ranks := nranks / k
+		if zone < nranks%k {
+			ranks++
+		}
+		bLo, bHi := bounds[zone], bounds[zone+1]
+		wg.Add(1)
+		go func(bLo, bHi, rankLo, ranks int) {
+			defer wg.Done()
+			if bHi <= bLo {
+				return
+			}
+			sub := z.Inner.Assign(costs[bLo:bHi], ranks)
+			for i, r := range sub {
+				a[bLo+i] = rankLo + r
+			}
+		}(bLo, bHi, rankLo, ranks)
+		rankLo += ranks
+	}
+	wg.Wait()
+	return a
+}
+
+// ByName constructs the standard policies from their experiment names:
+// "baseline", "lpt", "cdp", "cdp-full", and "cplX" for integer X (e.g.
+// "cpl0", "cpl25", "cpl50"). chunkSize applies to CDP-seeded policies
+// (0 disables chunking).
+func ByName(name string, chunkSize int) (Policy, error) {
+	switch name {
+	case "baseline":
+		return Baseline{}, nil
+	case "lpt":
+		return LPT{}, nil
+	case "cdp":
+		return CDP{Restricted: true, ChunkSize: chunkSize}, nil
+	case "cdp-full":
+		return CDP{Restricted: false}, nil
+	}
+	var x int
+	if _, err := fmt.Sscanf(name, "cpl%d", &x); err == nil && x >= 0 && x <= 100 {
+		return CPLX{X: x, ChunkSize: chunkSize}, nil
+	}
+	return nil, fmt.Errorf("placement: unknown policy %q", name)
+}
+
+// StandardSuite returns the policy set the paper evaluates in Fig 6:
+// the baseline plus CPLX at X ∈ {0, 25, 50, 75, 100}.
+func StandardSuite(chunkSize int) []Policy {
+	return []Policy{
+		Baseline{},
+		CPLX{X: 0, ChunkSize: chunkSize},
+		CPLX{X: 25, ChunkSize: chunkSize},
+		CPLX{X: 50, ChunkSize: chunkSize},
+		CPLX{X: 75, ChunkSize: chunkSize},
+		CPLX{X: 100, ChunkSize: chunkSize},
+	}
+}

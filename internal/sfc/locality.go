@@ -1,0 +1,54 @@
+package sfc
+
+import "math"
+
+// Locality metrics quantify how well a 1-D ordering of spatial cells keeps
+// geometric neighbors close together. The paper's whole placement tension
+// (§V) comes from the fact that this preservation is partial: contiguous
+// rank assignment over an SFC keeps *most* — not all — neighbors co-located.
+
+// AvgNeighborDistance returns the mean absolute index distance, under the
+// ordering order[cell] = position, between each pair in pairs. Pairs with an
+// endpoint missing from order are skipped. Returns 0 when no pair applies.
+func AvgNeighborDistance(order map[uint64]int, pairs [][2]uint64) float64 {
+	sum, n := 0.0, 0
+	for _, p := range pairs {
+		a, oka := order[p[0]]
+		b, okb := order[p[1]]
+		if !oka || !okb {
+			continue
+		}
+		sum += math.Abs(float64(a - b))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SameBucketFraction returns the fraction of pairs whose two endpoints land
+// in the same bucket when positions are divided into buckets of size
+// bucketSize (e.g. blocks per rank). Pairs with missing endpoints are
+// skipped. Returns 0 when no pair applies or bucketSize <= 0.
+func SameBucketFraction(order map[uint64]int, pairs [][2]uint64, bucketSize int) float64 {
+	if bucketSize <= 0 {
+		return 0
+	}
+	same, n := 0, 0
+	for _, p := range pairs {
+		a, oka := order[p[0]]
+		b, okb := order[p[1]]
+		if !oka || !okb {
+			continue
+		}
+		n++
+		if a/bucketSize == b/bucketSize {
+			same++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(same) / float64(n)
+}

@@ -1,0 +1,159 @@
+// Package sim is a deterministic discrete-event simulation engine with a
+// process (coroutine) model, the foundation of the simulated MPI cluster.
+//
+// The paper's placement effects are causal timing chains — a straggler rank
+// delays a barrier, a late send stalls a remote wait — so the substitution
+// for the real 600-node cluster is a virtual-time simulator that reproduces
+// exactly those chains. Determinism is guaranteed by a (time, sequence)
+// ordered event heap and by running exactly one process at a time: identical
+// inputs replay identical schedules, which is what makes the telemetry
+// experiments reproducible.
+//
+// Processes are goroutines that synchronize with the engine through paired
+// channels: the engine resumes a process, the process runs until it blocks
+// (Sleep, Await) or finishes, then hands control back. Only one goroutine is
+// ever runnable, so process code needs no locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual time in seconds.
+type Time = float64
+
+type event struct {
+	t   Time
+	seq int64
+	// Exactly one of fn/proc is set: fn events execute inline, proc events
+	// resume a blocked process.
+	fn   func()
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine. Engines are not safe for concurrent use.
+type Engine struct {
+	now     Time
+	seq     int64
+	pq      eventHeap
+	procs   []*Proc // all spawned processes, for Close
+	running bool
+}
+
+// NewEngine returns an empty engine at time 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.pq, event{t: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// schedProc schedules a process resume at absolute time t.
+func (e *Engine) schedProc(t Time, p *Proc) {
+	if t < e.now {
+		panic("sim: proc scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.pq, event{t: t, seq: e.seq, proc: p})
+}
+
+// Step executes the next event. It returns false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.pq) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.pq).(event)
+	e.now = ev.t
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.proc.run()
+	}
+	return true
+}
+
+// Run executes events until none remain, then returns the final time.
+// Processes still blocked on futures at that point are stuck (a deadlock in
+// the simulated program); query Blocked() to detect this.
+func (e *Engine) Run() Time {
+	if e.running {
+		panic("sim: Run re-entered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.pq) > 0 && e.pq[0].t <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Blocked returns the processes that are blocked (not finished, not
+// scheduled). A non-empty result after Run means simulated deadlock.
+func (e *Engine) Blocked() []*Proc {
+	var out []*Proc
+	scheduled := map[*Proc]bool{}
+	for _, ev := range e.pq {
+		if ev.proc != nil {
+			scheduled[ev.proc] = true
+		}
+	}
+	for _, p := range e.procs {
+		if !p.finished && p.started && !scheduled[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Close terminates all blocked processes by panicking inside them with a
+// killed marker (recovered by the process wrapper), releasing their
+// goroutines. The engine must not be used afterwards.
+func (e *Engine) Close() {
+	for _, p := range e.procs {
+		if p.started && !p.finished {
+			p.kill = true
+			p.run() // resumes the proc, which panics and unwinds
+		}
+	}
+}

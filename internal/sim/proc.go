@@ -1,0 +1,131 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// deterministically by the engine. All Proc methods must be called from the
+// process's own goroutine (inside the function passed to Spawn).
+type Proc struct {
+	eng  *Engine
+	name string
+
+	sched chan struct{} // engine → proc: you may run
+	yield chan struct{} // proc → engine: I am blocked or done
+
+	started  bool
+	finished bool
+	kill     bool
+}
+
+// killedError unwinds a process goroutine terminated by Engine.Close.
+type killedError struct{ name string }
+
+func (k killedError) Error() string { return "sim: proc " + k.name + " killed" }
+
+// Spawn creates a process running fn, scheduled to start at the current
+// virtual time. fn runs in its own goroutine under engine control.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:   e,
+		name:  name,
+		sched: make(chan struct{}),
+		yield: make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedError); !ok {
+					panic(r) // real bug: propagate
+				}
+			}
+			p.finished = true
+			p.yield <- struct{}{}
+		}()
+		<-p.sched
+		p.checkKill()
+		fn(p)
+	}()
+	e.schedProc(e.now, p)
+	p.started = true
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// run resumes the process goroutine and waits until it blocks or finishes.
+// Called only by the engine.
+func (p *Proc) run() {
+	p.sched <- struct{}{}
+	<-p.yield
+}
+
+// block hands control back to the engine and waits to be rescheduled.
+func (p *Proc) block() {
+	p.yield <- struct{}{}
+	<-p.sched
+	p.checkKill()
+}
+
+func (p *Proc) checkKill() {
+	if p.kill {
+		panic(killedError{p.name})
+	}
+}
+
+// Sleep advances this process by d virtual seconds. Negative d panics.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative sleep %v", d))
+	}
+	p.eng.schedProc(p.eng.now+d, p)
+	p.block()
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Await blocks until f completes. If f is already complete it returns
+// immediately without yielding.
+func (p *Proc) Await(f *Future) {
+	if f.done {
+		return
+	}
+	f.waiters = append(f.waiters, p)
+	p.block()
+}
+
+// AwaitAll blocks until every future completes, in order.
+func (p *Proc) AwaitAll(fs []*Future) {
+	for _, f := range fs {
+		p.Await(f)
+	}
+}
+
+// Future is a one-shot completion signal processes can Await. The zero value
+// is a pending future.
+type Future struct {
+	done    bool
+	waiters []*Proc
+}
+
+// NewFuture returns a pending future.
+func NewFuture() *Future { return &Future{} }
+
+// Done reports whether the future has completed.
+func (f *Future) Done() bool { return f.done }
+
+// Complete marks the future done and schedules every waiter to resume at the
+// current virtual time, in Await order. Completing twice panics — it would
+// indicate double delivery of a message.
+func (f *Future) Complete(e *Engine) {
+	if f.done {
+		panic("sim: Future completed twice")
+	}
+	f.done = true
+	for _, w := range f.waiters {
+		e.schedProc(e.now, w)
+	}
+	f.waiters = nil
+}

@@ -1,0 +1,266 @@
+// Package simnet models the simulated cluster the experiments run on:
+// nodes with 16 ranks each, an intra-node shared-memory message path, an
+// inter-node NIC with serialization and latency, and — crucially — the
+// fault and mis-tuning models the paper spends §IV diagnosing:
+//
+//   - thermal throttling that slows whole nodes (clusters of 16 ranks) by a
+//     constant factor (Fig 2);
+//   - a fabric ACK-loss recovery path that stalls senders inside MPI_Wait
+//     unless the drain-queue mitigation is enabled (Fig 1b);
+//   - an undersized shared-memory queue whose contention adds heavy-tailed
+//     noise to local message delivery, destroying the correlation between
+//     message volume and communication time (Fig 1a, Fig 3 right).
+//
+// The hardware constants default to the paper's testbed shape: Intel Xeon
+// nodes, 16 ranks/node, a 40 Gbps QLogic fabric (§IV "Hardware").
+package simnet
+
+import (
+	"amrtools/internal/sim"
+	"amrtools/internal/xrand"
+)
+
+// Config describes the cluster and its (mis)tuning state. Construct with
+// Tuned or Untuned and adjust.
+type Config struct {
+	Nodes        int // compute nodes
+	RanksPerNode int // MPI ranks per node (16 on the paper's testbed)
+
+	// Fabric timing.
+	RemoteLatency   float64 // one-way inter-node latency, seconds
+	RemoteBandwidth float64 // NIC bandwidth, bytes/second
+	// RemoteMsgOverhead is the per-message NIC/fabric processing cost,
+	// serialized at the sender's NIC — small boundary-exchange messages are
+	// message-rate bound as much as bandwidth bound on PSM-class fabrics.
+	RemoteMsgOverhead float64
+	LocalLatency      float64 // shared-memory one-way latency, seconds
+	LocalBandwidth    float64 // shared-memory bandwidth, bytes/second
+	SendOverhead      float64 // cost of posting a send (MPI_Isend returns)
+
+	// ShmQueueDepth is the number of in-flight local messages the
+	// shared-memory path absorbs before contention kicks in. The paper's
+	// "queue size tuning" (§IV-B) is raising this value.
+	ShmQueueDepth int
+	// ShmContentionPenalty is the extra delay per excess in-flight message,
+	// scaled by a heavy-tailed random factor.
+	ShmContentionPenalty float64
+
+	// AckLossProb is the per-remote-send probability of entering the
+	// missing-ACK recovery path that blocks the sender (§IV-B "MPI_Wait
+	// spikes"). AckRecoveryDelay is the stall duration.
+	AckLossProb      float64
+	AckRecoveryDelay float64
+	// DrainQueue enables the paper's mitigation: blocked requests are
+	// handed to a background drain queue, so the sender's MPI_Wait returns
+	// immediately.
+	DrainQueue bool
+
+	// ThrottledNodes maps node id → compute slowdown factor (e.g. 4.0 for
+	// the thermal throttling of Fig 2). Unlisted nodes run at factor 1.
+	ThrottledNodes map[int]float64
+
+	// Jitter is the relative magnitude of per-task OS noise on compute
+	// durations (0.01 = 1%).
+	Jitter float64
+
+	// Seed drives all randomness in the network and attached ranks.
+	Seed uint64
+}
+
+// Tuned returns the post-§IV configuration: large shm queue, drain queue
+// enabled, no throttled nodes. This is the environment of the Fig 6/7
+// evaluations ("tuned baseline").
+func Tuned(nodes, ranksPerNode int, seed uint64) Config {
+	return Config{
+		Nodes:                nodes,
+		RanksPerNode:         ranksPerNode,
+		RemoteLatency:        3e-6,
+		RemoteBandwidth:      4.5e9, // 40 Gbps line rate, ~90% effective
+		RemoteMsgOverhead:    6e-7,
+		LocalLatency:         5e-7,
+		LocalBandwidth:       12e9,
+		SendOverhead:         4e-7,
+		ShmQueueDepth:        1024,
+		ShmContentionPenalty: 2e-6,
+		AckLossProb:          0.002, // the fabric still misbehaves...
+		AckRecoveryDelay:     4e-3,
+		DrainQueue:           true, // ...but the drain queue hides it
+		Jitter:               0.02,
+		Seed:                 seed,
+	}
+}
+
+// Untuned returns the pre-§IV configuration: a small shm queue, the ACK
+// recovery path exposed (no drain queue), and heavier contention — the
+// environment of the "before" curves in Figs 1 and 3.
+func Untuned(nodes, ranksPerNode int, seed uint64) Config {
+	c := Tuned(nodes, ranksPerNode, seed)
+	c.ShmQueueDepth = 8
+	c.ShmContentionPenalty = 5e-6
+	c.AckLossProb = 0.02
+	c.DrainQueue = false
+	return c
+}
+
+// Census counts messages by path, the measurement behind Fig 6c's
+// local-vs-remote split. IntraRank counts block pairs co-located on one
+// rank, exchanged via memcpy and invisible to MPI.
+type Census struct {
+	IntraRank      int64
+	LocalMsgs      int64 // intra-node shared memory
+	RemoteMsgs     int64 // inter-node fabric
+	LocalBytes     int64
+	RemoteBytes    int64
+	AckStalls      int64 // sends that hit the recovery path and blocked
+	Drained        int64 // sends rescued by the drain queue
+	ShmContentions int64 // local deliveries that overflowed the queue
+}
+
+// Network is the simulated fabric. All methods must be called from engine
+// context (events or procs); Network is not safe for other goroutines.
+type Network struct {
+	cfg       Config
+	eng       *sim.Engine
+	rng       *xrand.RNG
+	nicFreeAt []float64 // per-node NIC egress availability
+	shmInUse  []int     // per-node in-flight local messages
+	Census    Census
+}
+
+// New builds a Network over the engine.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Nodes <= 0 || cfg.RanksPerNode <= 0 {
+		panic("simnet: non-positive cluster dimensions")
+	}
+	return &Network{
+		cfg:       cfg,
+		eng:       eng,
+		rng:       xrand.New(cfg.Seed),
+		nicFreeAt: make([]float64, cfg.Nodes),
+		shmInUse:  make([]int, cfg.Nodes),
+	}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// NumRanks returns the total rank count.
+func (n *Network) NumRanks() int { return n.cfg.Nodes * n.cfg.RanksPerNode }
+
+// NodeOf returns the node hosting a rank.
+func (n *Network) NodeOf(rank int) int { return rank / n.cfg.RanksPerNode }
+
+// ComputeFactor returns the compute slowdown factor of the node hosting
+// rank (1.0 for healthy nodes).
+func (n *Network) ComputeFactor(rank int) float64 {
+	if f, ok := n.cfg.ThrottledNodes[n.NodeOf(rank)]; ok {
+		return f
+	}
+	return 1
+}
+
+// SendPlan is the timing outcome of one message send.
+type SendPlan struct {
+	// DeliverAfter is the delay from send until the message is available at
+	// the receiver.
+	DeliverAfter float64
+	// SenderDoneAfter is the delay until the sender's MPI request
+	// completes (what MPI_Wait on the send request observes).
+	SenderDoneAfter float64
+	// Local reports whether the message used the intra-node path.
+	Local bool
+}
+
+// PlanSend computes delivery and sender-completion timing for a message of
+// the given size between two ranks, updating contention state and the
+// census. Callers must invoke DeliveryDone when the delivery completes if
+// the message was local (to release its shm queue slot).
+func (n *Network) PlanSend(src, dst, bytes int) SendPlan {
+	if n.NodeOf(src) == n.NodeOf(dst) {
+		return n.planLocal(src, dst, bytes)
+	}
+	return n.planRemote(src, dst, bytes)
+}
+
+func (n *Network) planLocal(src, dst, bytes int) SendPlan {
+	node := n.NodeOf(src)
+	n.Census.LocalMsgs++
+	n.Census.LocalBytes += int64(bytes)
+	delay := n.cfg.LocalLatency + float64(bytes)/n.cfg.LocalBandwidth
+	n.shmInUse[node]++
+	if excess := n.shmInUse[node] - n.cfg.ShmQueueDepth; excess > 0 {
+		// Undersized queue: the shared-memory path degrades into a
+		// contended retry loop with a heavy tail (§IV-B queue size tuning).
+		n.Census.ShmContentions++
+		delay += float64(excess) * n.cfg.ShmContentionPenalty * (1 + n.rng.ExpFloat64())
+	}
+	return SendPlan{DeliverAfter: delay, SenderDoneAfter: n.cfg.SendOverhead, Local: true}
+}
+
+func (n *Network) planRemote(src, dst, bytes int) SendPlan {
+	n.Census.RemoteMsgs++
+	n.Census.RemoteBytes += int64(bytes)
+	node := n.NodeOf(src)
+	now := n.eng.Now()
+	// NIC egress serialization: messages from all 16 ranks of a node share
+	// one NIC.
+	start := now
+	if n.nicFreeAt[node] > start {
+		start = n.nicFreeAt[node]
+	}
+	depart := start + n.cfg.RemoteMsgOverhead + float64(bytes)/n.cfg.RemoteBandwidth
+	n.nicFreeAt[node] = depart
+	deliver := depart + n.cfg.RemoteLatency - now
+
+	senderDone := n.cfg.SendOverhead
+	if n.cfg.AckLossProb > 0 && n.rng.Float64() < n.cfg.AckLossProb {
+		if n.cfg.DrainQueue {
+			// Mitigation: allocate a fresh request, drain the blocked one
+			// in the background; the sender proceeds immediately.
+			n.Census.Drained++
+		} else {
+			// Missing ACK: the fabric recovery path blocks the sender even
+			// though the receiver already has the data.
+			n.Census.AckStalls++
+			senderDone = n.cfg.AckRecoveryDelay * (0.5 + n.rng.Float64())
+		}
+	}
+	return SendPlan{DeliverAfter: deliver, SenderDoneAfter: senderDone, Local: false}
+}
+
+// DeliveryDone releases the shared-memory queue slot held by a local
+// message from src. Remote deliveries carry no slot.
+func (n *Network) DeliveryDone(src int, plan SendPlan) {
+	if plan.Local {
+		n.shmInUse[n.NodeOf(src)]--
+	}
+}
+
+// RecordIntraRank counts a block-pair exchange that stayed on one rank
+// (handled by memcpy, no MPI message).
+func (n *Network) RecordIntraRank() { n.Census.IntraRank++ }
+
+// ResetCensus zeroes the message census (e.g. per measurement window).
+func (n *Network) ResetCensus() { n.Census = Census{} }
+
+// CollectiveLatency returns the software latency of a barrier/allreduce
+// release over nranks ranks: a tree of depth log2(n) of fabric hops.
+func (n *Network) CollectiveLatency(nranks int) float64 {
+	depth := 0
+	for v := 1; v < nranks; v <<= 1 {
+		depth++
+	}
+	return float64(depth) * n.cfg.RemoteLatency
+}
+
+// Jitter returns a multiplicative compute-noise factor ~ (1 + Jitter·|N(0,1)|).
+func (n *Network) JitterFactor() float64 {
+	if n.cfg.Jitter == 0 {
+		return 1
+	}
+	v := n.rng.NormFloat64()
+	if v < 0 {
+		v = -v
+	}
+	return 1 + n.cfg.Jitter*v
+}

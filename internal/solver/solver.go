@@ -1,0 +1,134 @@
+// Package solver provides an exact branch-and-bound makespan minimizer.
+//
+// The paper validates LPT against a commercial ILP solver (Gurobi) with a
+// 200 s budget and reports that the solver could not improve on LPT (§V-B).
+// Gurobi is closed source and unavailable here; this solver is the
+// substitution: an exact branch-and-bound over block→rank assignments with
+// an LPT incumbent, descending-cost branching, load-based symmetry breaking,
+// and the standard makespan lower bounds. Within its time budget it either
+// proves LPT-quality solutions optimal or returns the best incumbent found.
+package solver
+
+import (
+	"sort"
+	"time"
+
+	"amrtools/internal/placement"
+)
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	// Assignment is the best block→rank mapping found.
+	Assignment placement.Assignment
+	// Makespan is the maximum rank load under Assignment.
+	Makespan float64
+	// Optimal reports whether the search completed (proved optimality)
+	// within the time budget.
+	Optimal bool
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int64
+}
+
+// Solve minimizes makespan exactly, stopping early when the time budget
+// expires. It panics if nranks <= 0.
+func Solve(costs []float64, nranks int, budget time.Duration) Result {
+	if nranks <= 0 {
+		panic("solver: nranks <= 0")
+	}
+	n := len(costs)
+	// Incumbent: LPT (§V-B — remarkably strong in practice).
+	incumbent := placement.LPT{}.Assign(costs, nranks)
+	best := placement.Makespan(costs, incumbent, nranks)
+	bestAssign := append(placement.Assignment(nil), incumbent...)
+
+	if n == 0 {
+		return Result{Assignment: bestAssign, Makespan: 0, Optimal: true}
+	}
+
+	// Branch on blocks in descending cost order: big rocks first maximizes
+	// pruning.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if costs[order[i]] != costs[order[j]] {
+			return costs[order[i]] > costs[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	suffix := make([]float64, n+1) // remaining cost from position i onward
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + costs[order[i]]
+	}
+
+	lb := placement.LowerBound(costs, nranks)
+	if best <= lb+1e-12 {
+		return Result{Assignment: bestAssign, Makespan: best, Optimal: true, Nodes: 0}
+	}
+
+	deadline := time.Now().Add(budget)
+	loads := make([]float64, nranks)
+	assign := make(placement.Assignment, n)
+	var nodes int64
+	timedOut := false
+	provedOptimal := false
+	const eps = 1e-12
+
+	var rec func(pos int, curMax float64)
+	rec = func(pos int, curMax float64) {
+		if timedOut || provedOptimal {
+			return
+		}
+		nodes++
+		if nodes&0x3ff == 0 && time.Now().After(deadline) {
+			timedOut = true
+			return
+		}
+		if curMax >= best-eps {
+			return // cannot improve
+		}
+		if pos == n {
+			best = curMax
+			copy(bestAssign, assign)
+			if best <= lb+eps {
+				provedOptimal = true // matched the global lower bound
+			}
+			return
+		}
+		b := order[pos]
+		c := costs[b]
+		// Symmetry breaking: branching into any one of several equally
+		// loaded ranks is equivalent; try each distinct load once.
+		seen := make(map[float64]bool, nranks)
+		for r := 0; r < nranks; r++ {
+			if seen[loads[r]] {
+				continue
+			}
+			seen[loads[r]] = true
+			newLoad := loads[r] + c
+			if newLoad >= best-eps {
+				continue
+			}
+			loads[r] = newLoad
+			assign[b] = r
+			max := curMax
+			if newLoad > max {
+				max = newLoad
+			}
+			rec(pos+1, max)
+			loads[r] = newLoad - c
+			if timedOut || provedOptimal {
+				return
+			}
+		}
+	}
+	rec(0, 0)
+
+	return Result{
+		Assignment: bestAssign,
+		Makespan:   best,
+		Optimal:    !timedOut,
+		Nodes:      nodes,
+	}
+}

@@ -1,0 +1,127 @@
+package solver
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"amrtools/internal/placement"
+	"amrtools/internal/xrand"
+)
+
+func TestSolveTrivial(t *testing.T) {
+	r := Solve(nil, 4, time.Second)
+	if !r.Optimal || r.Makespan != 0 {
+		t.Fatalf("empty solve = %+v", r)
+	}
+}
+
+func TestSolveKnownInstance(t *testing.T) {
+	// {7,6,5,4,3} on 2 ranks: optimum 13 ({7,6} | {5,4,3} → 13/12 → 13).
+	costs := []float64{7, 6, 5, 4, 3}
+	r := Solve(costs, 2, time.Second)
+	if !r.Optimal {
+		t.Fatal("tiny instance not solved to optimality")
+	}
+	if math.Abs(r.Makespan-13) > 1e-9 {
+		t.Fatalf("makespan = %v, want 13", r.Makespan)
+	}
+	if err := placement.Validate(r.Assignment, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveMatchesBruteForce(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 3 + rng.Intn(7)
+		nr := 2 + rng.Intn(3)
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = 0.5 + rng.Float64()*9
+		}
+		res := Solve(costs, nr, 2*time.Second)
+		if !res.Optimal {
+			return false
+		}
+		want := bruteForce(costs, nr)
+		return math.Abs(res.Makespan-want) < 1e-9
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func bruteForce(costs []float64, r int) float64 {
+	n := len(costs)
+	best := math.Inf(1)
+	assign := make(placement.Assignment, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if ms := placement.Makespan(costs, assign, r); ms < best {
+				best = ms
+			}
+			return
+		}
+		for k := 0; k < r; k++ {
+			assign[i] = k
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// The paper's §V-B observation: LPT is so strong the solver rarely improves
+// it. Verify the solver never does WORSE than LPT, and on identical-cost
+// instances proves LPT optimal immediately.
+func TestSolverNeverWorseThanLPT(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(10)
+		nr := 3 + rng.Intn(4)
+		costs := make([]float64, n)
+		for i := range costs {
+			costs[i] = rng.Pareto(0.6, 2.5)
+		}
+		lpt := placement.Makespan(costs, placement.LPT{}.Assign(costs, nr), nr)
+		res := Solve(costs, nr, 500*time.Millisecond)
+		if res.Makespan > lpt+1e-9 {
+			t.Fatalf("solver %v worse than LPT %v", res.Makespan, lpt)
+		}
+	}
+}
+
+func TestSolverUniformProvedOptimalFast(t *testing.T) {
+	costs := make([]float64, 32)
+	for i := range costs {
+		costs[i] = 1
+	}
+	res := Solve(costs, 8, time.Second)
+	if !res.Optimal || res.Makespan != 4 {
+		t.Fatalf("uniform solve = %+v, want optimal makespan 4", res)
+	}
+}
+
+func TestSolverRespectsBudget(t *testing.T) {
+	rng := xrand.New(7)
+	costs := make([]float64, 40)
+	for i := range costs {
+		costs[i] = 0.5 + rng.Float64()*9
+	}
+	start := time.Now()
+	_ = Solve(costs, 7, 50*time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("solver ran %v past a 50ms budget", elapsed)
+	}
+}
+
+func TestSolvePanicsOnBadRanks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nranks=0 did not panic")
+		}
+	}()
+	Solve([]float64{1}, 0, time.Second)
+}

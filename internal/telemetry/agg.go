@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"amrtools/internal/stats"
+)
+
+// AggFunc is an aggregation function over a numeric column.
+type AggFunc uint8
+
+const (
+	// Count counts rows (the column is ignored and may be empty).
+	Count AggFunc = iota
+	// Sum totals the column.
+	Sum
+	// Mean averages the column.
+	Mean
+	// Min takes the minimum.
+	Min
+	// Max takes the maximum.
+	Max
+	// P50 is the median.
+	P50
+	// P99 is the 99th percentile.
+	P99
+	// Var is the population variance.
+	Var
+	// Std is the population standard deviation.
+	Std
+)
+
+// aggNames maps function names (as used by TQL) to AggFunc.
+var aggNames = map[string]AggFunc{
+	"count": Count, "sum": Sum, "mean": Mean, "avg": Mean,
+	"min": Min, "max": Max, "p50": P50, "median": P50, "p99": P99,
+	"var": Var, "std": Std, "stddev": Std,
+}
+
+// AggByName resolves a function name to an AggFunc.
+func AggByName(name string) (AggFunc, bool) {
+	f, ok := aggNames[strings.ToLower(name)]
+	return f, ok
+}
+
+// String returns the canonical TQL name of the function.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "count"
+	case Sum:
+		return "sum"
+	case Mean:
+		return "mean"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case P50:
+		return "p50"
+	case P99:
+		return "p99"
+	case Var:
+		return "var"
+	case Std:
+		return "std"
+	}
+	return "unknown"
+}
+
+// Apply evaluates the aggregate over xs.
+func (f AggFunc) Apply(xs []float64) float64 {
+	switch f {
+	case Count:
+		return float64(len(xs))
+	case Sum:
+		return stats.Sum(xs)
+	case Mean:
+		return stats.Mean(xs)
+	case Min:
+		if len(xs) == 0 {
+			return 0
+		}
+		return stats.Min(xs)
+	case Max:
+		if len(xs) == 0 {
+			return 0
+		}
+		return stats.Max(xs)
+	case P50:
+		if len(xs) == 0 {
+			return 0
+		}
+		return stats.Median(xs)
+	case P99:
+		if len(xs) == 0 {
+			return 0
+		}
+		return stats.Percentile(xs, 99)
+	case Var:
+		return stats.Variance(xs)
+	case Std:
+		return stats.StdDev(xs)
+	}
+	panic("telemetry: unknown aggregate")
+}
+
+// AggSpec is one aggregation in a GroupBy: Func(Col) AS As.
+type AggSpec struct {
+	Func AggFunc
+	Col  string // source column; ignored for Count (may be "")
+	As   string // output column name; defaults to "func_col"
+}
+
+func (a AggSpec) outName() string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Col == "" {
+		return a.Func.String()
+	}
+	return a.Func.String() + "_" + a.Col
+}
+
+// GroupBy groups rows by the key columns and evaluates the aggregates per
+// group. The result has the key columns followed by one Float64 column per
+// aggregate, with groups sorted ascending by key values.
+func (t *Table) GroupBy(keys []string, aggs []AggSpec) *Table {
+	// Output schema.
+	specs := make([]ColSpec, 0, len(keys)+len(aggs))
+	for _, k := range keys {
+		s, err := t.ColDescr(k)
+		if err != nil {
+			panic(err)
+		}
+		specs = append(specs, s)
+	}
+	for _, a := range aggs {
+		if a.Func != Count {
+			if s, err := t.ColDescr(a.Col); err != nil {
+				panic(err)
+			} else if s.Type == String {
+				panic("telemetry: aggregate over string column " + a.Col)
+			}
+		}
+		specs = append(specs, FloatCol(a.outName()))
+	}
+
+	// Group rows by composite key.
+	groups := make(map[string][]int)
+	var order []string
+	for r := 0; r < t.rows; r++ {
+		var sb strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%v\x00", t.ValueAt(k, r))
+		}
+		key := sb.String()
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], r)
+	}
+	// Sort groups by their key values (via the first row of each group).
+	sort.Slice(order, func(i, j int) bool {
+		ri, rj := groups[order[i]][0], groups[order[j]][0]
+		for _, k := range keys {
+			vi, vj := t.ValueAt(k, ri), t.ValueAt(k, rj)
+			switch a := vi.(type) {
+			case int64:
+				b := vj.(int64)
+				if a != b {
+					return a < b
+				}
+			case float64:
+				b := vj.(float64)
+				if a != b {
+					return a < b
+				}
+			case string:
+				b := vj.(string)
+				if a != b {
+					return a < b
+				}
+			}
+		}
+		return false
+	})
+
+	out := NewTable(specs...)
+	for _, key := range order {
+		rows := groups[key]
+		vals := make([]interface{}, 0, len(specs))
+		for _, k := range keys {
+			vals = append(vals, t.ValueAt(k, rows[0]))
+		}
+		for _, a := range aggs {
+			var xs []float64
+			if a.Func == Count {
+				xs = make([]float64, len(rows))
+			} else {
+				xs = make([]float64, len(rows))
+				for i, r := range rows {
+					xs[i] = t.NumericAt(a.Col, r)
+				}
+			}
+			vals = append(vals, a.Func.Apply(xs))
+		}
+		out.Append(vals...)
+	}
+	return out
+}
+
+// Correlate returns the Pearson correlation between two numeric columns —
+// the paper's telemetry-reliability metric (Fig 1a: corr of message count
+// vs communication time).
+func (t *Table) Correlate(xCol, yCol string) float64 {
+	xs := make([]float64, t.rows)
+	ys := make([]float64, t.rows)
+	for r := 0; r < t.rows; r++ {
+		xs[r] = t.NumericAt(xCol, r)
+		ys[r] = t.NumericAt(yCol, r)
+	}
+	return stats.Pearson(xs, ys)
+}
+
+// Render formats the table as aligned ASCII text, capped at maxRows rows
+// (0 = all).
+func (t *Table) Render(maxRows int) string {
+	n := t.rows
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+	}
+	cells := make([][]string, n+1)
+	cells[0] = make([]string, len(t.cols))
+	for i, c := range t.cols {
+		cells[0][i] = c.spec.Name
+	}
+	for r := 0; r < n; r++ {
+		row := make([]string, len(t.cols))
+		for i, c := range t.cols {
+			switch c.spec.Type {
+			case Int64:
+				row[i] = fmt.Sprintf("%d", c.ints[r])
+			case Float64:
+				row[i] = fmt.Sprintf("%.6g", c.floats[r])
+			default:
+				row[i] = c.dict[c.strs[r]]
+			}
+		}
+		cells[r+1] = row
+	}
+	widths := make([]int, len(t.cols))
+	for _, row := range cells {
+		for i, s := range row {
+			if len(s) > widths[i] {
+				widths[i] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for ri, row := range cells {
+		for i, s := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], s)
+		}
+		sb.WriteByte('\n')
+		if ri == 0 {
+			for i, w := range widths {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(strings.Repeat("-", w))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if n < t.rows {
+		fmt.Fprintf(&sb, "... (%d more rows)\n", t.rows-n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	src := sampleTable()
+	var buf bytes.Buffer
+	if err := src.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != src.NumRows() || got.NumCols() != src.NumCols() {
+		t.Fatalf("dims %dx%d vs %dx%d", got.NumRows(), got.NumCols(), src.NumRows(), src.NumCols())
+	}
+	for _, s := range src.Schema() {
+		for r := 0; r < src.NumRows(); r++ {
+			if got.ValueAt(s.Name, r) != src.ValueAt(s.Name, r) {
+				t.Fatalf("mismatch at %s[%d]: %v vs %v",
+					s.Name, r, got.ValueAt(s.Name, r), src.ValueAt(s.Name, r))
+			}
+		}
+	}
+	// Type inference must recover the numeric columns.
+	if spec, _ := got.ColDescr("step"); spec.Type != Int64 {
+		t.Fatalf("step inferred as %v", spec.Type)
+	}
+	if spec, _ := got.ColDescr("wait"); spec.Type != Float64 {
+		t.Fatalf("wait inferred as %v", spec.Type)
+	}
+	if spec, _ := got.ColDescr("policy"); spec.Type != String {
+		t.Fatalf("policy inferred as %v", spec.Type)
+	}
+}
+
+func TestCSVHeaderOnly(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 || got.NumCols() != 2 {
+		t.Fatalf("dims = %dx%d", got.NumRows(), got.NumCols())
+	}
+}
+
+func TestCSVEmptyRejected(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty csv accepted")
+	}
+}
+
+func TestCSVBadNumberRejected(t *testing.T) {
+	// First row establishes int; second row breaks it.
+	in := "v\n5\nnot-a-number\n"
+	if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+		t.Fatal("bad number accepted")
+	}
+}
+
+func TestCSVFloatColumnInference(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("x\n1.5\n2.25\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Floats("x")[1] != 2.25 {
+		t.Fatalf("x = %v", got.Floats("x"))
+	}
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+// Watcher evaluates programmable triggers over a table as rows stream in —
+// the paper's §IV-C requirement ("programmable telemetry triggers based on
+// reconstructed application state"): instead of collecting everything
+// always, a trigger arms heavier collection (wait-event capture, trace
+// dumps) the moment a condition appears in the live telemetry.
+type Watcher struct {
+	t        *Table
+	triggers []*trigger
+}
+
+type trigger struct {
+	name  string
+	when  func(t *Table, row int) bool
+	fire  func(row int)
+	once  bool
+	fired int
+}
+
+// NewWatcher wraps a table; append rows through the watcher so triggers see
+// them.
+func NewWatcher(t *Table) *Watcher { return &Watcher{t: t} }
+
+// Table returns the wrapped table.
+func (w *Watcher) Table() *Table { return w.t }
+
+// OnRow registers a trigger: when(t, row) is evaluated for every appended
+// row; fire(row) runs on match. Triggers fire at most once when once is
+// true.
+func (w *Watcher) OnRow(name string, once bool, when func(t *Table, row int) bool, fire func(row int)) {
+	w.triggers = append(w.triggers, &trigger{name: name, when: when, fire: fire, once: once})
+}
+
+// Append adds a row to the table and evaluates every armed trigger on it.
+func (w *Watcher) Append(vals ...interface{}) {
+	w.t.Append(vals...)
+	row := w.t.NumRows() - 1
+	for _, tr := range w.triggers {
+		if tr.once && tr.fired > 0 {
+			continue
+		}
+		if tr.when(w.t, row) {
+			tr.fired++
+			tr.fire(row)
+		}
+	}
+}
+
+// FireCounts reports how many times each trigger fired.
+func (w *Watcher) FireCounts() map[string]int {
+	out := make(map[string]int, len(w.triggers))
+	for _, tr := range w.triggers {
+		out[tr.name] = tr.fired
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package tql
+
+import (
+	"fmt"
+
+	"amrtools/internal/telemetry"
+)
+
+// Run parses and executes query against tables, a map of FROM-name → table.
+func Run(query string, tables map[string]*telemetry.Table) (*telemetry.Table, error) {
+	q, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := tables[q.From]
+	if !ok {
+		return nil, fmt.Errorf("tql: unknown table %q", q.From)
+	}
+	return Exec(q, t)
+}
+
+// Exec executes a parsed query against one table.
+func Exec(q *Query, t *telemetry.Table) (*telemetry.Table, error) {
+	// 1. WHERE.
+	cur := t
+	if q.Where != nil {
+		// Probe row 0 (if any) so schema errors surface as errors rather
+		// than panics inside Filter.
+		if t.NumRows() > 0 {
+			if _, err := asBool(q.Where, t, 0); err != nil {
+				return nil, err
+			}
+		}
+		src := cur
+		cur = src.Filter(func(row int) bool {
+			ok, err := asBool(q.Where, src, row)
+			return err == nil && ok
+		})
+	}
+
+	// 2. Projection / aggregation.
+	hasAgg := false
+	for _, s := range q.Select {
+		if s.IsAgg {
+			hasAgg = true
+		}
+	}
+	switch {
+	case q.Star:
+		if len(q.GroupBy) > 0 {
+			return nil, fmt.Errorf("tql: SELECT * with GROUP BY")
+		}
+	case hasAgg || len(q.GroupBy) > 0:
+		var err error
+		cur, err = execAggregate(q, cur)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		names := make([]string, len(q.Select))
+		aliases := make([]string, len(q.Select))
+		for i, s := range q.Select {
+			if !cur.HasCol(s.Col) {
+				return nil, fmt.Errorf("tql: unknown column %q", s.Col)
+			}
+			names[i] = s.Col
+			aliases[i] = s.OutName()
+		}
+		cur = cur.Select(names...)
+		cur = rename(cur, aliases)
+	}
+
+	// 3. ORDER BY.
+	for i := len(q.OrderBy) - 1; i >= 0; i-- { // stable multi-key sort
+		o := q.OrderBy[i]
+		if !cur.HasCol(o.Col) {
+			return nil, fmt.Errorf("tql: ORDER BY unknown column %q", o.Col)
+		}
+		cur = cur.SortBy(o.Col, o.Desc)
+	}
+
+	// 4. LIMIT.
+	if q.Limit >= 0 {
+		cur = cur.Head(q.Limit)
+	}
+	return cur, nil
+}
+
+// execAggregate handles queries with aggregates and/or GROUP BY.
+func execAggregate(q *Query, t *telemetry.Table) (*telemetry.Table, error) {
+	// Every non-aggregate select item must be a group key.
+	keySet := map[string]bool{}
+	for _, k := range q.GroupBy {
+		if !t.HasCol(k) {
+			return nil, fmt.Errorf("tql: GROUP BY unknown column %q", k)
+		}
+		keySet[k] = true
+	}
+	var aggs []telemetry.AggSpec
+	for _, s := range q.Select {
+		if s.IsAgg {
+			if s.Col != "" && !t.HasCol(s.Col) {
+				return nil, fmt.Errorf("tql: unknown column %q", s.Col)
+			}
+			if s.Col != "" {
+				if spec, err := t.ColDescr(s.Col); err == nil && spec.Type == telemetry.String {
+					return nil, fmt.Errorf("tql: aggregate over string column %q", s.Col)
+				}
+			}
+			f := s.Agg
+			col := s.Col
+			if col == "" && f != telemetry.Count {
+				return nil, fmt.Errorf("tql: %s(*) is only valid for count", f)
+			}
+			if f == telemetry.Count {
+				col = "" // count ignores the column
+			}
+			aggs = append(aggs, telemetry.AggSpec{Func: f, Col: col, As: s.OutName()})
+		} else if !keySet[s.Col] {
+			return nil, fmt.Errorf("tql: column %q must appear in GROUP BY", s.Col)
+		}
+	}
+	g := t.GroupBy(q.GroupBy, aggs)
+	// Project to the select order (keys may be selected in any order, and
+	// unselected keys are dropped).
+	names := make([]string, len(q.Select))
+	aliases := make([]string, len(q.Select))
+	for i, s := range q.Select {
+		if s.IsAgg {
+			names[i] = s.OutName()
+		} else {
+			names[i] = s.Col
+		}
+		aliases[i] = s.OutName()
+	}
+	return rename(g.Select(names...), aliases), nil
+}
+
+// rename returns a table with the same data and new column names.
+func rename(t *telemetry.Table, names []string) *telemetry.Table {
+	schema := t.Schema()
+	changed := false
+	for i := range schema {
+		if schema[i].Name != names[i] {
+			schema[i].Name = names[i]
+			changed = true
+		}
+	}
+	if !changed {
+		return t
+	}
+	out := telemetry.NewTable(schema...)
+	old := t.Schema()
+	vals := make([]interface{}, len(schema))
+	for r := 0; r < t.NumRows(); r++ {
+		for i := range schema {
+			vals[i] = t.ValueAt(old[i].Name, r)
+		}
+		out.Append(vals...)
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package tql
+
+import (
+	"testing"
+
+	"amrtools/internal/telemetry"
+)
+
+// FuzzParse asserts the parser never panics: malformed queries must return
+// errors. `go test` exercises the seed corpus; `go test -fuzz=FuzzParse`
+// explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM t",
+		"SELECT rank, sum(wait) AS total FROM t WHERE step >= 10 GROUP BY rank ORDER BY total DESC LIMIT 5",
+		"select a from t where (x = 'y''z' or not b < 3.5e2) and c != 1",
+		"SELECT p99(wait), count(*) FROM t",
+		"SELECT * FROM t WHERE wait > 2 * (compute - 1) / 3",
+		"",
+		"SELECT",
+		"((((",
+		"'unterminated",
+		"SELECT * FROM t WHERE ~",
+		"select select from from",
+		"SELECT * FROM t LIMIT 99999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Anything that parses must also execute (or fail cleanly) against
+		// a small table without panicking.
+		tb := telemetry.NewTable(
+			telemetry.IntCol("step"), telemetry.IntCol("rank"),
+			telemetry.FloatCol("wait"), telemetry.FloatCol("compute"),
+			telemetry.StrCol("policy"))
+		tb.Append(1, 0, 1.5, 2.0, "lpt")
+		tb.Append(2, 1, 0.5, 1.0, "cdp")
+		_, _ = Exec(q, tb)
+	})
+}

@@ -1,0 +1,98 @@
+package tuning
+
+import (
+	"strings"
+	"testing"
+)
+
+// syntheticProbe models the paper's stack: correlation improves with queue
+// depth (up to a point), drain queue removes spikes, sends-first cuts CV.
+func syntheticProbe(k Knobs) Diagnosis {
+	d := Diagnosis{Corr: 0.2, CommCV: 1.0, P99Wait: 10e-3, MeanStepTime: 1}
+	switch {
+	case k.ShmQueueDepth >= 1024:
+		d.Corr = 0.9
+	case k.ShmQueueDepth >= 128:
+		d.Corr = 0.7
+	case k.ShmQueueDepth >= 32:
+		d.Corr = 0.45
+	}
+	if k.DrainQueue {
+		d.P99Wait = 1e-3
+		d.Corr += 0.05
+	}
+	if k.SendsFirst {
+		d.CommCV = 0.3
+	}
+	return d
+}
+
+func TestAutoTuneFindsAllMitigations(t *testing.T) {
+	start := Knobs{ShmQueueDepth: 8}
+	best, steps := AutoTune(syntheticProbe, start, 4096, 50)
+	if !best.DrainQueue || !best.SendsFirst {
+		t.Fatalf("mitigations not enabled: %+v", best)
+	}
+	if best.ShmQueueDepth < 1024 {
+		t.Fatalf("queue not grown: %d", best.ShmQueueDepth)
+	}
+	if len(steps) < 4 {
+		t.Fatalf("too few accepted steps: %d", len(steps))
+	}
+	if steps[0].Action != "initial" {
+		t.Fatal("first step must be the initial state")
+	}
+	// Scores must be monotone increasing along accepted steps.
+	for i := 1; i < len(steps); i++ {
+		if steps[i].Diagnosis.Score() <= steps[i-1].Diagnosis.Score() {
+			t.Fatalf("score regressed at step %d", i)
+		}
+	}
+}
+
+func TestAutoTuneStopsWhenNoImprovement(t *testing.T) {
+	flat := func(Knobs) Diagnosis { return Diagnosis{Corr: 0.5, CommCV: 0.5} }
+	calls := 0
+	probe := func(k Knobs) Diagnosis { calls++; return flat(k) }
+	best, steps := AutoTune(probe, Knobs{ShmQueueDepth: 8}, 64, 50)
+	if len(steps) != 1 {
+		t.Fatalf("flat probe accepted %d steps", len(steps))
+	}
+	if best != (Knobs{ShmQueueDepth: 8}) {
+		t.Fatalf("knobs changed without improvement: %+v", best)
+	}
+	if calls > 10 {
+		t.Fatalf("flat probe called %d times (no early stop)", calls)
+	}
+}
+
+func TestAutoTuneRespectsMaxDepth(t *testing.T) {
+	best, _ := AutoTune(syntheticProbe, Knobs{ShmQueueDepth: 8}, 64, 50)
+	if best.ShmQueueDepth > 64 {
+		t.Fatalf("exceeded max depth: %d", best.ShmQueueDepth)
+	}
+}
+
+func TestAutoTuneRespectsMaxIters(t *testing.T) {
+	best, steps := AutoTune(syntheticProbe, Knobs{ShmQueueDepth: 8}, 1<<20, 1)
+	// One iteration = at most one accepted move beyond the initial.
+	if len(steps) > 2 {
+		t.Fatalf("steps = %d with maxIters 1", len(steps))
+	}
+	_ = best
+}
+
+func TestScoreOrdering(t *testing.T) {
+	good := Diagnosis{Corr: 0.9, CommCV: 0.1}
+	bad := Diagnosis{Corr: 0.3, CommCV: 1.2}
+	if good.Score() <= bad.Score() {
+		t.Fatal("score does not separate good from bad telemetry")
+	}
+}
+
+func TestKnobsString(t *testing.T) {
+	s := Knobs{ShmQueueDepth: 64, DrainQueue: true}.String()
+	if !strings.Contains(s, "shmq=64") || !strings.Contains(s, "drain=true") {
+		t.Fatalf("knob string = %q", s)
+	}
+}
