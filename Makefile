@@ -1,0 +1,30 @@
+GO ?= go
+
+# Packages that exercise the concurrency-bearing layers (harness worker
+# pool, DES engine, MPI runtime, placement zonal parallelism).
+RACE_PKGS = ./internal/harness/... ./internal/experiments/... \
+            ./internal/sim/... ./internal/mpi/... ./internal/placement/...
+
+.PHONY: all build vet test race bench check fmt
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -count=1 $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchtime=1x .
+
+fmt:
+	gofmt -l . && test -z "$$(gofmt -l .)"
+
+check: vet build test race

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"amrtools/internal/experiments"
+	"amrtools/internal/harness"
 	"amrtools/internal/telemetry"
 )
 
@@ -24,6 +25,24 @@ func lookupF(t *telemetry.Table, keyCol string, key interface{}, col string) flo
 		}
 	}
 	return 0
+}
+
+// recorded runs one experiment with a fresh campaign recorder and reports
+// the total DES events the harness observed — the simulation-work metric
+// that makes ns/op comparable across machines.
+func recorded(b *testing.B, run func(experiments.Options)) {
+	rec := harness.NewRecorder()
+	opts := benchOpts
+	opts.Exec.Recorder = rec
+	run(opts)
+	t := rec.Table()
+	var events float64
+	for r := 0; r < t.NumRows(); r++ {
+		if t.Strings("spec")[r] == harness.CampaignRow {
+			events += float64(t.Ints("events")[r])
+		}
+	}
+	b.ReportMetric(events, "des-events")
 }
 
 // BenchmarkFig1TopTelemetryCorrelation regenerates Fig 1 (top): the
@@ -94,10 +113,12 @@ func BenchmarkFig4CriticalPath(b *testing.B) {
 // block growth statistics.
 func BenchmarkTableISedovConfigs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiments.TableI(benchOpts)
-		b.ReportMetric(float64(tab.Ints("n_initial")[0]), "n-initial")
-		b.ReportMetric(float64(tab.Ints("n_final")[0]), "n-final")
-		b.ReportMetric(float64(tab.Ints("t_lb")[0]), "t-lb")
+		recorded(b, func(o experiments.Options) {
+			tab := experiments.TableI(o)
+			b.ReportMetric(float64(tab.Ints("n_initial")[0]), "n-initial")
+			b.ReportMetric(float64(tab.Ints("n_final")[0]), "n-final")
+			b.ReportMetric(float64(tab.Ints("t_lb")[0]), "t-lb")
+		})
 	}
 }
 
@@ -105,15 +126,17 @@ func BenchmarkTableISedovConfigs(b *testing.B) {
 // across the policy suite, reporting the best improvement over baseline.
 func BenchmarkFig6aRuntimeByPolicy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		a, _, _ := experiments.Fig6(benchOpts)
-		best := 0.0
-		for r := 0; r < a.NumRows(); r++ {
-			if imp := a.Floats("improvement_pct")[r]; imp > best {
-				best = imp
+		recorded(b, func(o experiments.Options) {
+			a, _, _ := experiments.Fig6(o)
+			best := 0.0
+			for r := 0; r < a.NumRows(); r++ {
+				if imp := a.Floats("improvement_pct")[r]; imp > best {
+					best = imp
+				}
 			}
-		}
-		b.ReportMetric(best, "best-improvement-%")
-		b.ReportMetric(lookupF(a, "policy", "cpl50", "improvement_pct"), "cpl50-improvement-%")
+			b.ReportMetric(best, "best-improvement-%")
+			b.ReportMetric(lookupF(a, "policy", "cpl50", "improvement_pct"), "cpl50-improvement-%")
+		})
 	}
 }
 
@@ -203,9 +226,11 @@ func BenchmarkAblations(b *testing.B) {
 // message aggregation versus the raw P2P exchange of the paper's codes.
 func BenchmarkNeighborhoodCollectives(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tab := experiments.NeighborhoodCollectives(benchOpts)
-		b.ReportMetric(lookupF(tab, "mode", "p2p", "mean_round_ms"), "p2p-round-ms")
-		b.ReportMetric(lookupF(tab, "mode", "aggregated", "mean_round_ms"), "agg-round-ms")
+		recorded(b, func(o experiments.Options) {
+			tab := experiments.NeighborhoodCollectives(o)
+			b.ReportMetric(lookupF(tab, "mode", "p2p", "mean_round_ms"), "p2p-round-ms")
+			b.ReportMetric(lookupF(tab, "mode", "aggregated", "mean_round_ms"), "agg-round-ms")
+		})
 	}
 }
 

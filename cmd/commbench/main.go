@@ -7,7 +7,7 @@
 // Usage:
 //
 //	commbench [-ranks 512] [-policies cpl0,cpl25,cpl50,cpl75,cpl100]
-//	          [-meshes 5] [-rounds 20] [-seed 42]
+//	          [-meshes 5] [-rounds 20] [-seed 42] [-j N]
 package main
 
 import (
@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"amrtools/internal/experiments"
+	"amrtools/internal/harness"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 	meshes := flag.Int("meshes", 5, "random meshes per policy")
 	rounds := flag.Int("rounds", 20, "communication rounds per mesh")
 	seed := flag.Uint64("seed", 42, "mesh/network seed")
+	workers := flag.Int("j", 0, "parallel runs (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	tab, err := experiments.Commbench(experiments.CommbenchConfig{
@@ -34,6 +36,7 @@ func main() {
 		Meshes:   *meshes,
 		Rounds:   *rounds,
 		Seed:     *seed,
+		Exec:     harness.Exec{Workers: *workers},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "commbench:", err)

@@ -3,134 +3,85 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only fig6,table1,...]
+//	experiments [-quick] [-seed N] [-only fig6,table1,...] [-j N] [-out f.col] [-timeout d]
 //
 // Full mode reproduces the paper's scales (512–4096 simulated ranks for the
 // Sedov runs, up to 131072 ranks for scalebench) and takes several minutes;
-// -quick shrinks everything to seconds.
+// -quick shrinks everything to seconds. Every experiment fans its
+// independent runs out onto -j workers (default GOMAXPROCS); tables are
+// bit-identical for any -j. Tables go to stdout; progress and timing go to
+// stderr. -out dumps the per-run campaign telemetry (wall time, DES events,
+// allocations) as a colfile readable by cmd/amrquery.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
-	"strings"
 	"time"
 
+	"amrtools/internal/colfile"
 	"amrtools/internal/experiments"
-	"amrtools/internal/telemetry"
+	"amrtools/internal/harness"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run shrunken configurations (seconds instead of minutes)")
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	workers := flag.Int("j", 0, "parallel runs per campaign (0 = GOMAXPROCS)")
+	out := flag.String("out", "", "write per-run campaign telemetry to this colfile")
+	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none); a safety net against simulated deadlocks")
 	flag.Parse()
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
-
-	type exp struct {
-		id, title string
-		run       func() []namedTable
-	}
-	suite := []exp{
-		{"fig1top", "Fig 1 (top): telemetry correlation before/after tuning", func() []namedTable {
-			return []namedTable{{"", experiments.Fig1Top(opts)}}
-		}},
-		{"fig1bottom", "Fig 1 (bottom): MPI_Wait spikes and drain-queue mitigation", func() []namedTable {
-			return []namedTable{{"", experiments.Fig1Bottom(opts)}}
-		}},
-		{"fig2", "Fig 2: thermal throttling and health-check pruning", func() []namedTable {
-			return []namedTable{{"", experiments.Fig2(opts)}}
-		}},
-		{"fig3", "Fig 3: rankwise boundary communication across tuning stages", func() []namedTable {
-			return []namedTable{{"", experiments.Fig3(opts)}}
-		}},
-		{"fig4", "Fig 4: critical paths within a synchronization window", func() []namedTable {
-			return []namedTable{{"", experiments.Fig4(opts)}}
-		}},
-		{"table1", "Table I: Sedov Blast Wave 3D problem configurations", func() []namedTable {
-			return []namedTable{{"", experiments.TableI(opts)}}
-		}},
-		{"fig6", "Fig 6: placement policy evaluation (Sedov, 512-4096 ranks)", func() []namedTable {
-			a, b, c := experiments.Fig6(opts)
-			return []namedTable{
-				{"(a) runtime by phase", a},
-				{"(b) comm/sync vs baseline", b},
-				{"(c) message locality", c},
-			}
-		}},
-		{"cooling", "§VI: galaxy-cooling comparison (directionally similar)", func() []namedTable {
-			return []namedTable{{"", experiments.Fig6Cooling(opts)}}
-		}},
-		{"fig7a", "Fig 7 (top): commbench round latency vs locality", func() []namedTable {
-			return []namedTable{{"", experiments.Fig7a(opts)}}
-		}},
-		{"fig7b", "Fig 7 (middle): scalebench normalized makespan", func() []namedTable {
-			return []namedTable{{"", experiments.Fig7b(opts)}}
-		}},
-		{"fig7c", "Fig 7 (bottom): placement computation overhead", func() []namedTable {
-			return []namedTable{{"", experiments.Fig7c(opts)}}
-		}},
-		{"lptilp", "§V-B: LPT vs exact solver", func() []namedTable {
-			return []namedTable{{"", experiments.LPTvsILP(opts)}}
-		}},
-		{"ablations", "Design ablations: cost source, rebalance ends, EWMA alpha", func() []namedTable {
-			return []namedTable{{"", experiments.Ablations(opts)}}
-		}},
-		{"lbinterval", "Extension: deferred load balancing (placement trigger frequency)", func() []namedTable {
-			return []namedTable{{"", experiments.LBIntervalSweep(opts)}}
-		}},
-		{"hilbert", "Extension: Hilbert vs Morton block ordering", func() []namedTable {
-			return []namedTable{{"", experiments.HilbertOrderStudy(opts)}}
-		}},
-		{"neighborhood", "Extension: neighborhood-collective aggregation vs raw P2P", func() []namedTable {
-			return []namedTable{{"", experiments.NeighborhoodCollectives(opts)}}
-		}},
+	rec := harness.NewRecorder()
+	opts := experiments.Options{
+		Quick: *quick,
+		Seed:  *seed,
+		Exec: harness.Exec{
+			Workers:  *workers,
+			Timeout:  *timeout,
+			Recorder: rec,
+			Progress: func(p harness.Progress) {
+				fmt.Fprintf(os.Stderr, "  [%s] %d/%d done: %s (%s, %v)\n",
+					p.Campaign, p.Done, p.Total, p.ID, p.Status, p.Wall.Round(time.Millisecond))
+			},
+		},
 	}
 
-	selected := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			selected[strings.TrimSpace(id)] = true
-		}
-		var known []string
-		for _, e := range suite {
-			known = append(known, e.id)
-		}
-		sort.Strings(known)
-		for id := range selected {
-			found := false
-			for _, k := range known {
-				if k == id {
-					found = true
-				}
-			}
-			if !found {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(known, ", "))
-				os.Exit(2)
-			}
-		}
+	selected, err := experiments.Select(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
-	for _, e := range suite {
-		if len(selected) > 0 && !selected[e.id] {
-			continue
-		}
-		fmt.Printf("=== %s [%s] ===\n", e.title, e.id)
+	for _, e := range selected {
+		fmt.Printf("=== %s [%s] ===\n", e.Title, e.ID)
 		start := time.Now()
-		for _, nt := range e.run() {
-			if nt.name != "" {
-				fmt.Printf("--- %s ---\n", nt.name)
+		for _, nt := range e.Run(opts) {
+			if nt.Name != "" {
+				fmt.Printf("--- %s ---\n", nt.Name)
 			}
-			fmt.Print(nt.t.Render(0))
+			fmt.Print(nt.Table.Render(0))
 		}
-		fmt.Printf("(elapsed %v)\n\n", time.Since(start).Round(time.Millisecond))
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "[%s] elapsed %v\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
-}
 
-type namedTable struct {
-	name string
-	t    *telemetry.Table
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := colfile.WriteTable(f, rec.Table(), 256); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "campaign telemetry: %d rows -> %s\n", rec.Table().NumRows(), *out)
+	}
 }

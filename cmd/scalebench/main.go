@@ -17,14 +17,20 @@ import (
 	"fmt"
 
 	"amrtools/internal/experiments"
+	"amrtools/internal/harness"
 )
 
 func main() {
 	full := flag.Bool("full", false, "sweep to 131072 ranks (takes longer)")
 	seed := flag.Uint64("seed", 42, "cost-sampling seed")
+	workers := flag.Int("j", 0, "parallel runs per campaign (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	opts := experiments.Options{Quick: !*full, Seed: *seed}
+	opts := experiments.Options{
+		Quick: !*full,
+		Seed:  *seed,
+		Exec:  harness.Exec{Workers: *workers},
+	}
 
 	fmt.Println("scalebench: normalized makespan (makespan / lower bound, lower is better)")
 	fmt.Print(experiments.Fig7b(opts).Render(0))

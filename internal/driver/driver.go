@@ -164,6 +164,9 @@ type Result struct {
 	Phases PhaseTotals
 	// Makespan is the virtual end-to-end runtime.
 	Makespan float64
+	// Events is the number of DES events the engine processed — the
+	// simulation-work metric the campaign harness records per run.
+	Events int64
 	// InitialBlocks/FinalBlocks bracket the mesh growth (Table I).
 	InitialBlocks, FinalBlocks int
 	// LBSteps counts redistributions performed (Table I's t_lb).
@@ -297,6 +300,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	st.res.Makespan = eng.Now()
+	st.res.Events = eng.Events()
 	st.res.FinalBlocks = st.m.NumLeaves()
 	st.res.Census = net.Census
 	var tot PhaseTotals

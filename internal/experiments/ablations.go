@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"amrtools/internal/cost"
+	"amrtools/internal/driver"
+	"amrtools/internal/harness"
 	"amrtools/internal/placement"
 	"amrtools/internal/telemetry"
 	"amrtools/internal/xrand"
@@ -31,20 +33,34 @@ func Ablations(opts Options) *telemetry.Table {
 	}
 	steps := opts.steps()
 
+	// All six simulation runs of ablations 1 and 3 are independent, so they
+	// fan out as one campaign: the baseline reference, measured vs unit
+	// costs (ablation 1), and the three EWMA alphas (ablation 3).
+	cplxCfg := func(mutate func(*driver.Config)) driver.Config {
+		cfg := sedovConfig(sc, placement.CPLX{X: 50}, steps, opts.Seed)
+		mutate(&cfg)
+		return cfg
+	}
+	specs := []harness.Spec[*driver.Result]{
+		sedovSpec("baseline", sedovConfig(sc, placement.Baseline{}, steps, opts.Seed)),
+		sedovSpec("measured-costs", cplxCfg(func(cfg *driver.Config) { cfg.UseMeasuredCosts = true })),
+		sedovSpec("unit-costs", cplxCfg(func(cfg *driver.Config) { cfg.UseMeasuredCosts = false })),
+		sedovSpec("alpha-1.0", cplxCfg(func(cfg *driver.Config) { cfg.CostAlpha = 1.0 })),
+		sedovSpec("alpha-0.5", cplxCfg(func(cfg *driver.Config) { cfg.CostAlpha = 0.5 })),
+		sedovSpec("alpha-0.1", cplxCfg(func(cfg *driver.Config) { cfg.CostAlpha = 0.1 })),
+	}
+	results := runCampaign(opts, "ablations", specs)
+	base := results[0]
+	improvement := func(res *driver.Result) float64 {
+		return 100 * (base.Phases.Total() - res.Phases.Total()) / base.Phases.Total()
+	}
+
 	// Ablation 1: measured vs unit costs, end to end. With unit costs the
 	// cost-aware machinery degenerates to count balancing and the gains
 	// over baseline should mostly vanish.
-	base := runSedov(sedovConfig(sc, placement.Baseline{}, steps, opts.Seed))
-	for _, measured := range []bool{true, false} {
-		cfg := sedovConfig(sc, placement.CPLX{X: 50}, steps, opts.Seed)
-		cfg.UseMeasuredCosts = measured
-		res := runSedov(cfg)
-		variant := "unit-costs"
-		if measured {
-			variant = "measured-costs"
-		}
-		imp := 100 * (base.Phases.Total() - res.Phases.Total()) / base.Phases.Total()
-		out.Append("cost-source", variant, res.Phases.Total(), 0.0, imp)
+	for i, variant := range []string{"measured-costs", "unit-costs"} {
+		res := results[1+i]
+		out.Append("cost-source", variant, res.Phases.Total(), 0.0, improvement(res))
 	}
 
 	// Ablation 2: both-ends vs top-only rebalancing (placement-level, over
@@ -68,19 +84,9 @@ func Ablations(opts Options) *telemetry.Table {
 
 	// Ablation 3: EWMA smoothing factor for measured costs. Alpha 1 chases
 	// per-step noise; tiny alpha lags the moving shock front.
-	for _, alpha := range []float64{1.0, 0.5, 0.1} {
-		cfg := sedovConfig(sc, placement.CPLX{X: 50}, steps, opts.Seed)
-		cfg.CostAlpha = alpha
-		res := runSedov(cfg)
-		imp := 100 * (base.Phases.Total() - res.Phases.Total()) / base.Phases.Total()
-		variant := "alpha-1.0"
-		switch alpha {
-		case 0.5:
-			variant = "alpha-0.5"
-		case 0.1:
-			variant = "alpha-0.1"
-		}
-		out.Append("ewma-alpha", variant, res.Phases.Total(), 0.0, imp)
+	for i, variant := range []string{"alpha-1.0", "alpha-0.5", "alpha-0.1"} {
+		res := results[3+i]
+		out.Append("ewma-alpha", variant, res.Phases.Total(), 0.0, improvement(res))
 	}
 	return out
 }

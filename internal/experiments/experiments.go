@@ -19,9 +19,8 @@
 package experiments
 
 import (
-	"fmt"
-
 	"amrtools/internal/driver"
+	"amrtools/internal/harness"
 	"amrtools/internal/physics"
 	"amrtools/internal/placement"
 	"amrtools/internal/simnet"
@@ -33,6 +32,11 @@ import (
 type Options struct {
 	Quick bool
 	Seed  uint64
+	// Exec carries the campaign-execution knobs — worker count (-j),
+	// per-run timeout, progress callback, metrics recorder — into every
+	// runner's harness plan. The zero value runs plans on GOMAXPROCS
+	// workers with no timeout and no recording.
+	Exec harness.Exec
 }
 
 // SedovScale is one Table I configuration.
@@ -78,14 +82,27 @@ func sedovConfig(sc SedovScale, pol placement.Policy, steps int, seed uint64) dr
 	return driver.DefaultConfig(sc.RootDims, 2, steps, pol, seed)
 }
 
-// runSedov executes one Sedov run, panicking on configuration errors (the
-// experiment definitions are static).
-func runSedov(cfg driver.Config) *driver.Result {
-	res, err := driver.Run(cfg)
-	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+// sedovSpec wraps one driver run as a harness spec, reporting the run's
+// DES event count to the campaign metrics.
+func sedovSpec(id string, cfg driver.Config) harness.Spec[*driver.Result] {
+	return harness.Spec[*driver.Result]{
+		ID: id,
+		Run: func(m *harness.Meter) (*driver.Result, error) {
+			res, err := driver.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			m.AddEvents(res.Events)
+			return res, nil
+		},
 	}
-	return res
+}
+
+// runCampaign fans the specs out through the harness and returns their
+// results in spec order, panicking on any failure (the experiment
+// definitions are static, so a failed run is a bug, not an input error).
+func runCampaign(opts Options, campaign string, specs []harness.Spec[*driver.Result]) []*driver.Result {
+	return harness.MustValues(harness.Run(opts.Exec, campaign, specs))
 }
 
 // untunedNet is the pre-§IV environment for a given cluster size.

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"sort"
 
+	"amrtools/internal/driver"
+	"amrtools/internal/harness"
 	"amrtools/internal/mesh"
 	"amrtools/internal/placement"
 	"amrtools/internal/sfc"
@@ -31,11 +34,22 @@ func LBIntervalSweep(opts Options) *telemetry.Table {
 	}
 	steps := opts.steps()
 	const never = 1 << 20
-	var ref float64
-	for _, every := range []int{never, 4, 2, 1} {
+	// The four cadence variants are independent runs; the never-re-place
+	// reference is spec 0, so the in-order reduce sees it first.
+	intervals := []int{never, 4, 2, 1}
+	var specs []harness.Spec[*driver.Result]
+	for _, every := range intervals {
 		cfg := sedovConfig(sc, placement.CPLX{X: 50}, steps, opts.Seed)
 		cfg.PlacementEvery = every
-		res := runSedov(cfg)
+		id := fmt.Sprintf("every-%d", every)
+		if every == never {
+			id = "never"
+		}
+		specs = append(specs, sedovSpec(id, cfg))
+	}
+	var ref float64
+	for i, res := range runCampaign(opts, "lbinterval", specs) {
+		every := intervals[i]
 		if every == never {
 			ref = res.Phases.Total()
 		}
@@ -112,21 +126,40 @@ func HilbertOrderStudy(opts Options) *telemetry.Table {
 	base := placement.Baseline{}
 	costs := unitCosts(n)
 
-	// Morton ordering: assignment indexed directly.
-	aMorton := base.Assign(costs, ranks)
-	out.Append("morton", n,
-		placement.LocalityFraction(adjMorton, aMorton),
-		placement.NodeLocalityFraction(adjMorton, aMorton, 16))
-
-	// Hilbert ordering: contiguous ranges along the Hilbert traversal,
-	// mapped back to Morton indexing for the locality metrics.
-	aHilbertByPos := base.Assign(costs, ranks)
-	aHilbert := make(placement.Assignment, n)
-	for mortonIdx, pos := range hilbertPos {
-		aHilbert[mortonIdx] = aHilbertByPos[pos]
+	// The mesh and Hilbert permutation above share one RNG stream and are
+	// built once; the two ordering evaluations are independent and fan out.
+	type locality struct{ rank, node float64 }
+	evalSpec := func(id string, assign func() placement.Assignment) harness.Spec[locality] {
+		return harness.Spec[locality]{
+			ID: id,
+			Run: func(m *harness.Meter) (locality, error) {
+				a := assign()
+				return locality{
+					rank: placement.LocalityFraction(adjMorton, a),
+					node: placement.NodeLocalityFraction(adjMorton, a, 16),
+				}, nil
+			},
+		}
 	}
-	out.Append("hilbert", n,
-		placement.LocalityFraction(adjMorton, aHilbert),
-		placement.NodeLocalityFraction(adjMorton, aHilbert, 16))
+	specs := []harness.Spec[locality]{
+		// Morton ordering: assignment indexed directly.
+		evalSpec("morton", func() placement.Assignment {
+			return base.Assign(costs, ranks)
+		}),
+		// Hilbert ordering: contiguous ranges along the Hilbert traversal,
+		// mapped back to Morton indexing for the locality metrics.
+		evalSpec("hilbert", func() placement.Assignment {
+			aHilbertByPos := base.Assign(costs, ranks)
+			aHilbert := make(placement.Assignment, n)
+			for mortonIdx, pos := range hilbertPos {
+				aHilbert[mortonIdx] = aHilbertByPos[pos]
+			}
+			return aHilbert
+		}),
+	}
+	names := []string{"morton", "hilbert"}
+	for i, loc := range harness.MustValues(harness.Run(opts.Exec, "hilbert", specs)) {
+		out.Append(names[i], n, loc.rank, loc.node)
+	}
 	return out
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"amrtools/internal/driver"
+	"amrtools/internal/harness"
 	"amrtools/internal/placement"
 	"amrtools/internal/simnet"
 	"amrtools/internal/stats"
@@ -26,17 +27,19 @@ func Fig1Top(opts Options) *telemetry.Table {
 		sc = SedovScale{Ranks: 128, RootDims: [3]int{4, 4, 8}}
 	}
 	steps := opts.steps()
-	for _, tuned := range []bool{false, true} {
+	names := []string{"untuned", "tuned"}
+	var specs []harness.Spec[*driver.Result]
+	for _, name := range names {
 		cfg := sedovConfig(sc, placement.Baseline{}, steps, opts.Seed)
-		name := "tuned"
-		if !tuned {
-			name = "untuned"
+		if name == "untuned" {
 			cfg.Net = untunedNet(cfg.Net.Nodes, cfg.Net.RanksPerNode, opts.Seed)
 			cfg.SendsFirst = false
 		}
-		res := runSedov(cfg)
+		specs = append(specs, sedovSpec(name, cfg))
+	}
+	for i, res := range runCampaign(opts, "fig1top", specs) {
 		corr, cv := commCorrelation(res)
-		out.Append(name, corr, cv,
+		out.Append(names[i], corr, cv,
 			int(res.Census.AckStalls), int(res.Census.ShmContentions))
 	}
 	return out
@@ -68,23 +71,23 @@ func Fig1Bottom(opts Options) *telemetry.Table {
 	)
 	sc := SedovScale{Ranks: 128, RootDims: [3]int{4, 4, 8}}
 	steps := opts.steps()
-	for _, drain := range []bool{false, true} {
+	names := []string{"no-drain", "drain-queue"}
+	var specs []harness.Spec[*driver.Result]
+	for _, name := range names {
 		cfg := sedovConfig(sc, placement.Baseline{}, steps, opts.Seed)
 		net := simnet.Tuned(cfg.Net.Nodes, cfg.Net.RanksPerNode, opts.Seed)
 		net.AckLossProb = 0.02 // the faulty fabric of Fig 1b
-		net.DrainQueue = drain
+		net.DrainQueue = name == "drain-queue"
 		cfg.Net = net
 		// The anomaly surfaced in the not-yet-reordered schedule, where the
 		// send-request wait sits on the critical path; the tuned
 		// sends-first order would overlap the stall behind compute.
 		cfg.SendsFirst = false
 		cfg.CollectWaits = true
-		res := runSedov(cfg)
-
-		name := "no-drain"
-		if drain {
-			name = "drain-queue"
-		}
+		specs = append(specs, sedovSpec(name, cfg))
+	}
+	for i, res := range runCampaign(opts, "fig1bottom", specs) {
+		name := names[i]
 		sendWaits := res.Waits.Filter(func(r int) bool {
 			return res.Waits.ValueAt("kind", r) == "send"
 		})

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"amrtools/internal/driver"
+	"amrtools/internal/harness"
 	"amrtools/internal/health"
 	"amrtools/internal/placement"
 	"amrtools/internal/simnet"
@@ -56,15 +58,6 @@ func Fig2(opts Options) *telemetry.Table {
 	}
 	cfgNaive := sedovConfig(SedovScale{RootDims: rootFor(want)}, placement.Baseline{}, steps, opts.Seed)
 	cfgNaive.Net = naiveNet
-	resNaive := runSedov(cfgNaive)
-
-	// Per-node compute ratio from the step table (the Fig 2 signature:
-	// inflated compute in clusters of 16 ranks).
-	ratio := throttledComputeRatio(resNaive.Steps, naiveNet.ThrottledNodes)
-
-	out.Append("throttled", want, resNaive.Makespan,
-		resNaive.Phases.Compute, resNaive.Phases.Sync,
-		resNaive.Phases.Sync/resNaive.Phases.Total(), ratio, 1.0)
 
 	// Run 2: the §IV-A workflow — probe the overprovisioned pool, prune
 	// fail-slow nodes, launch on healthy ones.
@@ -76,9 +69,25 @@ func Fig2(opts Options) *telemetry.Table {
 		panic(err)
 	}
 	prunedNet := health.PruneConfig(poolNet, healthy)
-	cfgPruned := cfgNaive
+	// Built from scratch, not copied from cfgNaive: the Problem inside a
+	// Config is stateful (its RNG advances during the run), and specs of one
+	// campaign may execute concurrently.
+	cfgPruned := sedovConfig(SedovScale{RootDims: rootFor(want)}, placement.Baseline{}, steps, opts.Seed)
 	cfgPruned.Net = prunedNet
-	resPruned := runSedov(cfgPruned)
+
+	results := runCampaign(opts, "fig2", []harness.Spec[*driver.Result]{
+		sedovSpec("throttled", cfgNaive),
+		sedovSpec("health-pruned", cfgPruned),
+	})
+	resNaive, resPruned := results[0], results[1]
+
+	// Per-node compute ratio from the step table (the Fig 2 signature:
+	// inflated compute in clusters of 16 ranks).
+	ratio := throttledComputeRatio(resNaive.Steps, naiveNet.ThrottledNodes)
+
+	out.Append("throttled", want, resNaive.Makespan,
+		resNaive.Phases.Compute, resNaive.Phases.Sync,
+		resNaive.Phases.Sync/resNaive.Phases.Total(), ratio, 1.0)
 
 	out.Append("health-pruned", want, resPruned.Makespan,
 		resPruned.Phases.Compute, resPruned.Phases.Sync,

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"amrtools/internal/driver"
+	"amrtools/internal/harness"
 	"amrtools/internal/placement"
 	"amrtools/internal/telemetry"
 )
@@ -34,6 +36,7 @@ func Fig3(opts Options) *telemetry.Table {
 		{"sends-first", true, 0},                // + send prioritization
 		{"sends-first+queue-tuned", true, 1024}, // + queue size tuning
 	}
+	var specs []harness.Spec[*driver.Result]
 	for _, s := range stages {
 		cfg := sedovConfig(sc, placement.Baseline{}, steps, opts.Seed)
 		net := untunedNet(cfg.Net.Nodes, cfg.Net.RanksPerNode, opts.Seed)
@@ -44,9 +47,11 @@ func Fig3(opts Options) *telemetry.Table {
 		}
 		cfg.Net = net
 		cfg.SendsFirst = s.sendsFirst
-		res := runSedov(cfg)
+		specs = append(specs, sedovSpec(s.name, cfg))
+	}
+	for i, res := range runCampaign(opts, "fig3", specs) {
 		corr, cv := commCorrelation(res)
-		out.Append(s.name,
+		out.Append(stages[i].name,
 			res.Phases.Comm/float64(steps)*1e3, cv, corr,
 			int(res.Census.ShmContentions))
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"amrtools/internal/critpath"
+	"amrtools/internal/driver"
+	"amrtools/internal/harness"
 	"amrtools/internal/placement"
 	"amrtools/internal/telemetry"
 	"amrtools/internal/xrand"
@@ -24,42 +26,57 @@ func Fig4(opts Options) *telemetry.Table {
 		telemetry.FloatCol("wait_on_path_ms"), telemetry.IntCol("principle_holds"),
 	)
 
-	// (a) Randomized single-round windows at growing scales.
+	// (a) Randomized single-round windows at growing scales. Window
+	// generation shares one RNG stream, so it stays sequential; the path
+	// analyses are independent and fan out.
 	scales := []int{8, 64, 512}
 	if opts.Quick {
 		scales = []int{8, 64}
 	}
 	rng := xrand.New(opts.Seed + 4)
+	type window struct {
+		res   critpath.Result
+		holds int
+	}
+	var windowSpecs []harness.Spec[window]
 	for _, nranks := range scales {
 		tr := randomSingleRoundWindow(nranks, rng)
-		res, ok := critpath.CheckTwoRankPrinciple(tr)
-		holds := 0
-		if ok {
-			holds = 1
-		}
-		out.Append(fmt.Sprintf("random-%dranks", nranks),
-			len(res.Ranks), res.CrossRankEdges,
-			res.Makespan*1e3, res.WaitOnPath*1e3, holds)
+		windowSpecs = append(windowSpecs, harness.Spec[window]{
+			ID: fmt.Sprintf("random-%dranks", nranks),
+			Run: func(m *harness.Meter) (window, error) {
+				res, ok := critpath.CheckTwoRankPrinciple(tr)
+				holds := 0
+				if ok {
+					holds = 1
+				}
+				return window{res: res, holds: holds}, nil
+			},
+		})
+	}
+	for i, w := range harness.MustValues(harness.Run(opts.Exec, "fig4-windows", windowSpecs)) {
+		out.Append(fmt.Sprintf("random-%dranks", scales[i]),
+			len(w.res.Ranks), w.res.CrossRankEdges,
+			w.res.Makespan*1e3, w.res.WaitOnPath*1e3, w.holds)
 	}
 
 	// (b) A real simulated synchronization window: trace one Sedov timestep
 	// through the driver and analyze its actual task schedule.
-	for _, sendsFirst := range []bool{false, true} {
+	names := []string{"sedov-window-compute-first", "sedov-window-sends-first"}
+	var specs []harness.Spec[*driver.Result]
+	for _, name := range names {
 		cfg := sedovConfig(QuickScale, placement.Baseline{}, 8, opts.Seed)
-		cfg.SendsFirst = sendsFirst
+		cfg.SendsFirst = name == "sedov-window-sends-first"
 		cfg.TraceStep = 6
 		cfg.CollectSteps = false
-		res := runSedov(cfg)
+		specs = append(specs, sedovSpec(name, cfg))
+	}
+	for i, res := range runCampaign(opts, "fig4-sedov", specs) {
 		cpRes, ok := critpath.CheckTwoRankPrinciple(res.Trace)
 		holds := 0
 		if ok {
 			holds = 1
 		}
-		name := "sedov-window-compute-first"
-		if sendsFirst {
-			name = "sedov-window-sends-first"
-		}
-		out.Append(name, len(cpRes.Ranks), cpRes.CrossRankEdges,
+		out.Append(names[i], len(cpRes.Ranks), cpRes.CrossRankEdges,
 			cpRes.Makespan*1e3, cpRes.WaitOnPath*1e3, holds)
 	}
 

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"amrtools/internal/cost"
+	"amrtools/internal/harness"
 	"amrtools/internal/mesh"
 	"amrtools/internal/mpi"
 	"amrtools/internal/placement"
@@ -39,36 +40,75 @@ func Fig7a(opts Options) *telemetry.Table {
 		scales = []scale{{128, [3]int{4, 4, 8}}}
 		meshes, rounds = 2, 8
 	}
+	// One spec per (scale, X, mesh): the per-mesh RNGs are split off
+	// sequentially at plan-build time so the fan-out sees the exact streams
+	// the sequential loop did.
+	type cell struct {
+		ranks  int
+		pol    placement.CPLX
+		meshes int
+	}
+	var cells []cell
+	var specs []harness.Spec[meshRun]
 	for _, sc := range scales {
 		for _, x := range []int{0, 25, 50, 75, 100} {
 			pol := placement.CPLX{X: x, ChunkSize: chunkFor(sc.ranks)}
-			var lats []float64
-			var remoteShare float64
+			cells = append(cells, cell{sc.ranks, pol, meshes})
 			rng := xrand.New(opts.Seed + uint64(sc.ranks))
 			for m := 0; m < meshes; m++ {
-				ls, rs := commbenchMesh(sc.ranks, sc.rootDims, pol, rounds, rng.Split())
-				lats = append(lats, ls...)
-				remoteShare += rs
+				specs = append(specs, commbenchSpec(
+					fmt.Sprintf("%dranks-%s-mesh%d", sc.ranks, pol.Name(), m),
+					sc.ranks, sc.rootDims, pol, rounds, rng.Split()))
 			}
-			if len(lats) == 0 {
-				continue
-			}
-			out.Append(sc.ranks, pol.Name(),
-				stats.Mean(lats)*1e3, stats.Percentile(lats, 99)*1e3,
-				remoteShare/float64(meshes))
 		}
+	}
+	runs := harness.MustValues(harness.Run(opts.Exec, "fig7a", specs))
+	for _, c := range cells {
+		var lats []float64
+		var remoteShare float64
+		for m := 0; m < c.meshes; m++ {
+			lats = append(lats, runs[0].lats...)
+			remoteShare += runs[0].share
+			runs = runs[1:]
+		}
+		if len(lats) == 0 {
+			continue
+		}
+		out.Append(c.ranks, c.pol.Name(),
+			stats.Mean(lats)*1e3, stats.Percentile(lats, 99)*1e3,
+			remoteShare/float64(c.meshes))
 	}
 	return out
 }
 
+// meshRun is one commbench mesh outcome.
+type meshRun struct {
+	lats  []float64
+	share float64
+}
+
+// commbenchSpec wraps one commbench mesh as a harness spec.
+func commbenchSpec(id string, ranks int, rootDims [3]int, pol placement.Policy, rounds int, rng *xrand.RNG) harness.Spec[meshRun] {
+	return harness.Spec[meshRun]{
+		ID: id,
+		Run: func(m *harness.Meter) (meshRun, error) {
+			lats, share, events := commbenchMesh(ranks, rootDims, pol, rounds, rng)
+			m.AddEvents(events)
+			return meshRun{lats: lats, share: share}, nil
+		},
+	}
+}
+
 // CommbenchConfig parameterizes a standalone commbench run (the cmd/commbench
-// binary); placement policies are drop-in by name.
+// binary); placement policies are drop-in by name. Exec carries the campaign
+// execution knobs (worker count, progress, metrics) into the mesh fan-out.
 type CommbenchConfig struct {
 	Ranks    int
 	Policies []string
 	Meshes   int
 	Rounds   int
 	Seed     uint64
+	Exec     harness.Exec
 }
 
 // Commbench runs the boundary-communication microbenchmark for an arbitrary
@@ -89,18 +129,32 @@ func Commbench(cfg CommbenchConfig) (*telemetry.Table, error) {
 		telemetry.FloatCol("mean_round_ms"), telemetry.FloatCol("p99_round_ms"),
 		telemetry.FloatCol("remote_share"),
 	)
-	for _, name := range cfg.Policies {
+	pols := make([]placement.Policy, len(cfg.Policies))
+	var specs []harness.Spec[meshRun]
+	for i, name := range cfg.Policies {
 		pol, err := placement.ByName(name, chunkFor(cfg.Ranks))
 		if err != nil {
 			return nil, err
 		}
+		pols[i] = pol
 		rng := xrand.New(cfg.Seed + uint64(cfg.Ranks))
+		for m := 0; m < cfg.Meshes; m++ {
+			specs = append(specs, commbenchSpec(
+				fmt.Sprintf("%s-mesh%d", pol.Name(), m),
+				cfg.Ranks, rootDims, pol, cfg.Rounds, rng.Split()))
+		}
+	}
+	runs, err := harness.Values(harness.Run(cfg.Exec, "commbench", specs))
+	if err != nil {
+		return nil, err
+	}
+	for _, pol := range pols {
 		var lats []float64
 		var remoteShare float64
 		for m := 0; m < cfg.Meshes; m++ {
-			ls, rs := commbenchMesh(cfg.Ranks, rootDims, pol, cfg.Rounds, rng.Split())
-			lats = append(lats, ls...)
-			remoteShare += rs
+			lats = append(lats, runs[0].lats...)
+			remoteShare += runs[0].share
+			runs = runs[1:]
 		}
 		if len(lats) == 0 {
 			continue
@@ -141,7 +195,7 @@ func cubeDims(ranks int) ([3]int, error) {
 // dominate), so CPLX's rebalancing diffuses the communication hotspots that
 // strict locality preservation clusters onto few ranks — the mechanism
 // behind the latency inversion of Fig 7 (top).
-func commbenchMesh(ranks int, rootDims [3]int, pol placement.Policy, rounds int, rng *xrand.RNG) ([]float64, float64) {
+func commbenchMesh(ranks int, rootDims [3]int, pol placement.Policy, rounds int, rng *xrand.RNG) ([]float64, float64, int64) {
 	target := ranks + ranks/2 // 1.5 blocks per rank
 	m := mesh.RandomRefined(rootDims[0], rootDims[1], rootDims[2], 3, target, rng)
 	leaves := m.Leaves()
@@ -239,7 +293,7 @@ func commbenchMesh(ranks int, rootDims [3]int, pol placement.Policy, rounds int,
 	}
 	cs := net.Census
 	share := float64(cs.RemoteMsgs) / float64(cs.RemoteMsgs+cs.LocalMsgs)
-	return lats, share
+	return lats, share, eng.Events()
 }
 
 // Fig7b is scalebench's makespan panel (§VI-C middle): normalized makespan
@@ -256,21 +310,48 @@ func Fig7b(opts Options) *telemetry.Table {
 	if opts.Quick {
 		scales = []int{512, 2048}
 	}
+	// One spec per (scale, distribution): each samples its own costs from a
+	// fresh seed-derived RNG and sweeps the policy list internally.
+	type row struct {
+		policy string
+		norm   float64
+	}
+	type cell struct {
+		ranks int
+		dist  string
+	}
+	var cells []cell
+	var specs []harness.Spec[[]row]
 	for _, ranks := range scales {
-		n := ranks + ranks/2
+		ranks := ranks
 		for _, dist := range cost.ScalebenchDistributions() {
-			rng := xrand.New(opts.Seed ^ uint64(ranks))
-			costs := cost.Sample(dist, n, rng)
-			lb := placement.LowerBound(costs, ranks)
-			policies := []placement.Policy{placement.Baseline{}}
-			for _, x := range []int{0, 25, 50, 75, 100} {
-				policies = append(policies, placement.CPLX{X: x, ChunkSize: 512})
-			}
-			for _, pol := range policies {
-				a := pol.Assign(costs, ranks)
-				out.Append(ranks, dist.Name(), pol.Name(),
-					placement.Makespan(costs, a, ranks)/lb)
-			}
+			dist := dist
+			cells = append(cells, cell{ranks, dist.Name()})
+			specs = append(specs, harness.Spec[[]row]{
+				ID: fmt.Sprintf("%dranks-%s", ranks, dist.Name()),
+				Run: func(m *harness.Meter) ([]row, error) {
+					n := ranks + ranks/2
+					rng := xrand.New(opts.Seed ^ uint64(ranks))
+					costs := cost.Sample(dist, n, rng)
+					lb := placement.LowerBound(costs, ranks)
+					policies := []placement.Policy{placement.Baseline{}}
+					for _, x := range []int{0, 25, 50, 75, 100} {
+						policies = append(policies, placement.CPLX{X: x, ChunkSize: 512})
+					}
+					rows := make([]row, 0, len(policies))
+					for _, pol := range policies {
+						a := pol.Assign(costs, ranks)
+						rows = append(rows, row{pol.Name(),
+							placement.Makespan(costs, a, ranks) / lb})
+					}
+					return rows, nil
+				},
+			})
+		}
+	}
+	for i, rows := range harness.MustValues(harness.Run(opts.Exec, "fig7b", specs)) {
+		for _, r := range rows {
+			out.Append(cells[i].ranks, cells[i].dist, r.policy, r.norm)
 		}
 	}
 	return out
@@ -291,29 +372,51 @@ func Fig7c(opts Options) *telemetry.Table {
 	if opts.Quick {
 		scales = []int{512, 2048, 8192}
 	}
+	// Fig 7c measures host wall clock inside the specs, so the campaign is
+	// pinned to one worker: concurrent placement computations would contend
+	// for cores and inflate each other's measured times.
+	type row struct {
+		policy string
+		ms     float64
+		within int
+	}
+	var specs []harness.Spec[[]row]
 	for _, ranks := range scales {
-		n := ranks + ranks/2
-		rng := xrand.New(opts.Seed ^ uint64(ranks) ^ 0x7c)
-		costs := cost.Sample(cost.Exponential{Mean: 1}, n, rng)
-		policies := []placement.Policy{placement.CPLX{X: 50, ChunkSize: 512}}
-		if ranks >= 16384 {
-			policies = append(policies,
-				placement.Zonal{Inner: placement.CPLX{X: 50, ChunkSize: 512}, Zones: ranks / 8192})
-		}
-		for _, pol := range policies {
-			best := time.Duration(1 << 62)
-			for rep := 0; rep < 3; rep++ {
-				start := time.Now()
-				_ = pol.Assign(costs, ranks)
-				if d := time.Since(start); d < best {
-					best = d
+		ranks := ranks
+		specs = append(specs, harness.Spec[[]row]{
+			ID: fmt.Sprintf("%dranks", ranks),
+			Run: func(m *harness.Meter) ([]row, error) {
+				n := ranks + ranks/2
+				rng := xrand.New(opts.Seed ^ uint64(ranks) ^ 0x7c)
+				costs := cost.Sample(cost.Exponential{Mean: 1}, n, rng)
+				policies := []placement.Policy{placement.CPLX{X: 50, ChunkSize: 512}}
+				if ranks >= 16384 {
+					policies = append(policies,
+						placement.Zonal{Inner: placement.CPLX{X: 50, ChunkSize: 512}, Zones: ranks / 8192})
 				}
-			}
-			within := 0
-			if best < 50*time.Millisecond {
-				within = 1
-			}
-			out.Append(ranks, pol.Name(), float64(best.Microseconds())/1e3, within)
+				rows := make([]row, 0, len(policies))
+				for _, pol := range policies {
+					best := time.Duration(1 << 62)
+					for rep := 0; rep < 3; rep++ {
+						start := time.Now()
+						_ = pol.Assign(costs, ranks)
+						if d := time.Since(start); d < best {
+							best = d
+						}
+					}
+					within := 0
+					if best < 50*time.Millisecond {
+						within = 1
+					}
+					rows = append(rows, row{pol.Name(), float64(best.Microseconds()) / 1e3, within})
+				}
+				return rows, nil
+			},
+		})
+	}
+	for i, rows := range harness.MustValues(harness.Run(opts.Exec.Serial(), "fig7c", specs)) {
+		for _, r := range rows {
+			out.Append(scales[i], r.policy, r.ms, r.within)
 		}
 	}
 	return out

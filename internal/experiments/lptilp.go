@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"amrtools/internal/cost"
+	"amrtools/internal/harness"
 	"amrtools/internal/placement"
 	"amrtools/internal/solver"
 	"amrtools/internal/telemetry"
@@ -35,17 +37,34 @@ func LPTvsILP(opts Options) *telemetry.Table {
 		sizes = sizes[:2]
 	}
 	dist := cost.Truncated{D: cost.PowerLaw{XM: 0.6, Alpha: 2.5}, Lo: 0.6, Hi: 5}
+	// Instances share one RNG stream, so costs are sampled sequentially at
+	// plan-build time; the expensive branch-and-bound runs fan out.
+	type verdict struct {
+		lpt      float64
+		makespan float64
+		optimal  int
+	}
 	rng := xrand.New(opts.Seed + 99)
+	var specs []harness.Spec[verdict]
 	for _, s := range sizes {
+		s := s
 		costs := cost.Sample(dist, s.n, rng)
-		lpt := placement.Makespan(costs, placement.LPT{}.Assign(costs, s.r), s.r)
-		res := solver.Solve(costs, s.r, budget)
-		optimal := 0
-		if res.Optimal {
-			optimal = 1
-		}
-		gap := 100 * (lpt - res.Makespan) / lpt
-		out.Append(s.n, s.r, lpt, res.Makespan, optimal, gap)
+		specs = append(specs, harness.Spec[verdict]{
+			ID: fmt.Sprintf("%dblocks-%dranks", s.n, s.r),
+			Run: func(m *harness.Meter) (verdict, error) {
+				lpt := placement.Makespan(costs, placement.LPT{}.Assign(costs, s.r), s.r)
+				res := solver.Solve(costs, s.r, budget)
+				optimal := 0
+				if res.Optimal {
+					optimal = 1
+				}
+				return verdict{lpt: lpt, makespan: res.Makespan, optimal: optimal}, nil
+			},
+		})
+	}
+	for i, v := range harness.MustValues(harness.Run(opts.Exec, "lptilp", specs)) {
+		gap := 100 * (v.lpt - v.makespan) / v.lpt
+		out.Append(sizes[i].n, sizes[i].r, v.lpt, v.makespan, v.optimal, gap)
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"amrtools/internal/harness"
 	"amrtools/internal/mesh"
 	"amrtools/internal/mpi"
 	"amrtools/internal/placement"
@@ -38,30 +39,63 @@ func NeighborhoodCollectives(opts Options) *telemetry.Table {
 		scales = []scale{{128, [3]int{4, 4, 8}}}
 		rounds, meshes = 8, 2
 	}
+	// Fan out every (scale, mode, mesh) round as its own spec. Each cell's
+	// per-mesh RNGs are split from the shared stream at plan-build time, so
+	// mesh m sees the same stream it did under the sequential loop.
+	type roundOut struct {
+		lats []float64
+		msgs int
+	}
+	type cellKey struct {
+		ranks     int
+		aggregate bool
+	}
+	var cells []cellKey
+	var specs []harness.Spec[roundOut]
 	for _, sc := range scales {
 		for _, aggregate := range []bool{false, true} {
+			cells = append(cells, cellKey{sc.ranks, aggregate})
 			rng := xrand.New(opts.Seed + uint64(sc.ranks) + 77)
-			var lats []float64
-			msgs := 0
 			for m := 0; m < meshes; m++ {
-				ls, nm := neighborhoodRound(sc.ranks, sc.rootDims, aggregate, rounds, rng.Split())
-				lats = append(lats, ls...)
-				msgs += nm
+				sc, aggregate, mrng := sc, aggregate, rng.Split()
+				mode := "p2p"
+				if aggregate {
+					mode = "aggregated"
+				}
+				specs = append(specs, harness.Spec[roundOut]{
+					ID: fmt.Sprintf("%dranks-%s-mesh%d", sc.ranks, mode, m),
+					Run: func(mt *harness.Meter) (roundOut, error) {
+						ls, nm, ev := neighborhoodRound(sc.ranks, sc.rootDims, aggregate, rounds, mrng)
+						mt.AddEvents(ev)
+						return roundOut{lats: ls, msgs: nm}, nil
+					},
+				})
 			}
-			mode := "p2p"
-			if aggregate {
-				mode = "aggregated"
-			}
-			out.Append(sc.ranks, mode, msgs/meshes,
-				stats.Mean(lats)*1e3, stats.Percentile(lats, 99)*1e3)
 		}
+	}
+	runs := harness.MustValues(harness.Run(opts.Exec, "neighborhood", specs))
+	for _, cell := range cells {
+		var lats []float64
+		msgs := 0
+		for m := 0; m < meshes; m++ {
+			lats = append(lats, runs[0].lats...)
+			msgs += runs[0].msgs
+			runs = runs[1:]
+		}
+		mode := "p2p"
+		if cell.aggregate {
+			mode = "aggregated"
+		}
+		out.Append(cell.ranks, mode, msgs/meshes,
+			stats.Mean(lats)*1e3, stats.Percentile(lats, 99)*1e3)
 	}
 	return out
 }
 
 // neighborhoodRound measures boundary-exchange rounds either as raw P2P
-// (one message per boundary element) or aggregated per rank pair.
-func neighborhoodRound(ranks int, rootDims [3]int, aggregate bool, rounds int, rng *xrand.RNG) ([]float64, int) {
+// (one message per boundary element) or aggregated per rank pair. The third
+// return is the number of DES events the round processed.
+func neighborhoodRound(ranks int, rootDims [3]int, aggregate bool, rounds int, rng *xrand.RNG) ([]float64, int, int64) {
 	m := mesh.RandomRefined(rootDims[0], rootDims[1], rootDims[2], 3, ranks+ranks/2, rng)
 	leaves := m.Leaves()
 	n := len(leaves)
@@ -160,5 +194,5 @@ func neighborhoodRound(ranks int, rootDims [3]int, aggregate bool, rounds int, r
 		}
 		lats = append(lats, lat)
 	}
-	return lats, total
+	return lats, total, eng.Events()
 }

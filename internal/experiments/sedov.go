@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"fmt"
+
 	"amrtools/internal/driver"
+	"amrtools/internal/harness"
 	"amrtools/internal/placement"
 	"amrtools/internal/telemetry"
 )
@@ -19,11 +22,15 @@ func TableI(opts Options) *telemetry.Table {
 		telemetry.IntCol("n_initial"), telemetry.IntCol("n_final"),
 	)
 	steps := opts.steps()
-	for _, sc := range opts.scales() {
+	scales := opts.scales()
+	var specs []harness.Spec[*driver.Result]
+	for _, sc := range scales {
 		cfg := sedovConfig(sc, placement.Baseline{}, steps, opts.Seed)
 		cfg.CollectSteps = false // Table I only needs mesh statistics
-		res := runSedov(cfg)
-		out.Append(sc.Ranks, sc.MeshDesc, steps, res.LBSteps,
+		specs = append(specs, sedovSpec(fmt.Sprintf("%dranks", sc.Ranks), cfg))
+	}
+	for i, res := range runCampaign(opts, "table1", specs) {
+		out.Append(scales[i].Ranks, scales[i].MeshDesc, steps, res.LBSteps,
 			res.InitialBlocks, res.FinalBlocks)
 	}
 	return out
@@ -57,16 +64,30 @@ func Fig6(opts Options) (a, b, c *telemetry.Table) {
 		telemetry.FloatCol("remote_share"),
 	)
 	steps := opts.steps()
+	// Fan out the full (scale × policy) product — the paper's headline
+	// campaign and the reason the harness exists. The reduce consumes
+	// results in spec order, so each scale's baseline (first policy of
+	// StandardSuite) is seen before the variants it normalizes.
+	type cell struct {
+		sc  SedovScale
+		pol placement.Policy
+	}
+	var cells []cell
+	var specs []harness.Spec[*driver.Result]
 	for _, sc := range opts.scales() {
-		var base *driver.Result
 		for _, pol := range placement.StandardSuite(chunkFor(sc.Ranks)) {
-			cfg := sedovConfig(sc, pol, steps, opts.Seed)
-			res := runSedov(cfg)
-			if pol.Name() == "baseline" {
-				base = res
-			}
-			appendFig6Rows(a, b, c, sc.Ranks, pol.Name(), res, base)
+			cells = append(cells, cell{sc, pol})
+			specs = append(specs, sedovSpec(
+				fmt.Sprintf("%dranks-%s", sc.Ranks, pol.Name()),
+				sedovConfig(sc, pol, steps, opts.Seed)))
 		}
+	}
+	var base *driver.Result
+	for i, res := range runCampaign(opts, "fig6", specs) {
+		if cells[i].pol.Name() == "baseline" {
+			base = res
+		}
+		appendFig6Rows(a, b, c, cells[i].sc.Ranks, cells[i].pol.Name(), res, base)
 	}
 	return a, b, c
 }
@@ -129,22 +150,31 @@ func Fig6Cooling(opts Options) *telemetry.Table {
 		sc = TableIScales[0]
 	}
 	steps := opts.steps()
+	type cell struct {
+		problem string
+		pol     placement.Policy
+	}
+	var cells []cell
+	var specs []harness.Spec[*driver.Result]
 	for _, problem := range []string{"sedov", "cooling"} {
-		var baseTotal float64
 		for _, pol := range []placement.Policy{placement.Baseline{}, placement.CPLX{X: 50}} {
 			cfg := sedovConfig(sc, pol, steps, opts.Seed)
 			if problem == "cooling" {
 				cfg.Problem = coolingProblem(sc, opts.Seed)
 			}
-			res := runSedov(cfg)
-			improvement := 0.0
-			if pol.Name() == "baseline" {
-				baseTotal = res.Phases.Total()
-			} else if baseTotal > 0 {
-				improvement = 100 * (baseTotal - res.Phases.Total()) / baseTotal
-			}
-			out.Append(problem, pol.Name(), res.Phases.Total(), improvement)
+			cells = append(cells, cell{problem, pol})
+			specs = append(specs, sedovSpec(problem+"-"+pol.Name(), cfg))
 		}
+	}
+	var baseTotal float64
+	for i, res := range runCampaign(opts, "cooling", specs) {
+		improvement := 0.0
+		if cells[i].pol.Name() == "baseline" {
+			baseTotal = res.Phases.Total()
+		} else if baseTotal > 0 {
+			improvement = 100 * (baseTotal - res.Phases.Total()) / baseTotal
+		}
+		out.Append(cells[i].problem, cells[i].pol.Name(), res.Phases.Total(), improvement)
 	}
 	return out
 }

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"amrtools/internal/telemetry"
+)
+
+// NamedTable pairs a rendered table with its panel caption (empty for
+// single-table experiments).
+type NamedTable struct {
+	Name  string
+	Table *telemetry.Table
+}
+
+// Experiment is one entry of the paper's evaluation: a stable id (used by
+// the -only flag), a human title, and a runner producing one or more tables.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) []NamedTable
+}
+
+func one(t *telemetry.Table) []NamedTable { return []NamedTable{{Table: t}} }
+
+// Suite returns every experiment in presentation order (the order DESIGN.md
+// documents and cmd/experiments prints).
+func Suite() []Experiment {
+	return []Experiment{
+		{"fig1top", "Fig 1 (top): telemetry correlation before/after tuning",
+			func(o Options) []NamedTable { return one(Fig1Top(o)) }},
+		{"fig1bottom", "Fig 1 (bottom): MPI_Wait spikes and drain-queue mitigation",
+			func(o Options) []NamedTable { return one(Fig1Bottom(o)) }},
+		{"fig2", "Fig 2: thermal throttling and health-check pruning",
+			func(o Options) []NamedTable { return one(Fig2(o)) }},
+		{"fig3", "Fig 3: rankwise boundary communication across tuning stages",
+			func(o Options) []NamedTable { return one(Fig3(o)) }},
+		{"fig4", "Fig 4: critical paths within a synchronization window",
+			func(o Options) []NamedTable { return one(Fig4(o)) }},
+		{"table1", "Table I: Sedov Blast Wave 3D problem configurations",
+			func(o Options) []NamedTable { return one(TableI(o)) }},
+		{"fig6", "Fig 6: placement policy evaluation (Sedov, 512-4096 ranks)",
+			func(o Options) []NamedTable {
+				a, b, c := Fig6(o)
+				return []NamedTable{
+					{"(a) runtime by phase", a},
+					{"(b) comm/sync vs baseline", b},
+					{"(c) message locality", c},
+				}
+			}},
+		{"cooling", "§VI: galaxy-cooling comparison (directionally similar)",
+			func(o Options) []NamedTable { return one(Fig6Cooling(o)) }},
+		{"fig7a", "Fig 7 (top): commbench round latency vs locality",
+			func(o Options) []NamedTable { return one(Fig7a(o)) }},
+		{"fig7b", "Fig 7 (middle): scalebench normalized makespan",
+			func(o Options) []NamedTable { return one(Fig7b(o)) }},
+		{"fig7c", "Fig 7 (bottom): placement computation overhead",
+			func(o Options) []NamedTable { return one(Fig7c(o)) }},
+		{"lptilp", "§V-B: LPT vs exact solver",
+			func(o Options) []NamedTable { return one(LPTvsILP(o)) }},
+		{"ablations", "Design ablations: cost source, rebalance ends, EWMA alpha",
+			func(o Options) []NamedTable { return one(Ablations(o)) }},
+		{"lbinterval", "Extension: deferred load balancing (placement trigger frequency)",
+			func(o Options) []NamedTable { return one(LBIntervalSweep(o)) }},
+		{"hilbert", "Extension: Hilbert vs Morton block ordering",
+			func(o Options) []NamedTable { return one(HilbertOrderStudy(o)) }},
+		{"neighborhood", "Extension: neighborhood-collective aggregation vs raw P2P",
+			func(o Options) []NamedTable { return one(NeighborhoodCollectives(o)) }},
+	}
+}
+
+// SuiteIDs returns the sorted experiment ids, for error messages and docs.
+func SuiteIDs() []string {
+	var ids []string
+	for _, e := range Suite() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Select filters the suite down to the comma-separated ids in only (empty
+// selects everything, preserving suite order). Unknown ids are an error.
+func Select(only string) ([]Experiment, error) {
+	suite := Suite()
+	if only == "" {
+		return suite, nil
+	}
+	selected := map[string]bool{}
+	for _, id := range strings.Split(only, ",") {
+		selected[strings.TrimSpace(id)] = true
+	}
+	known := map[string]bool{}
+	for _, e := range suite {
+		known[e.ID] = true
+	}
+	for id := range selected {
+		if !known[id] {
+			return nil, fmt.Errorf("unknown experiment %q; known: %s",
+				id, strings.Join(SuiteIDs(), ", "))
+		}
+	}
+	var out []Experiment
+	for _, e := range suite {
+		if selected[e.ID] {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}

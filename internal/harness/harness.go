@@ -1,0 +1,301 @@
+// Package harness is the campaign execution layer: every experiment,
+// benchmark, and binary in this repo expresses its work as a *plan* — a
+// slice of independent, seeded run specs plus a pure reduce step — and the
+// harness executes the specs on a worker pool.
+//
+// The paper's methodology is running campaigns of simulations (policy ×
+// scale × fault-config sweeps); each individual run is a deterministic
+// virtual-time simulation, so runs are embarrassingly parallel. The harness
+// exploits that while keeping the one property the reproduction depends on:
+// results are merged in spec order, so parallel output is bit-for-bit
+// identical to sequential output for any deterministic spec.
+//
+// Contract for specs:
+//
+//   - a spec must not share mutable state with other specs of the plan
+//     (pre-split RNGs and pre-sampled inputs before fanning out);
+//   - a spec's value must depend only on its inputs, never on execution
+//     order or wall clock, if bit-identical parallel output is wanted
+//     (wall-clock measuring specs such as Fig 7c opt out via Serial).
+//
+// Each run is wrapped with observability: wall-clock, DES events processed
+// (reported by the spec through its Meter), and panic/timeout status are
+// recorded per run; a Recorder aggregates them into a telemetry.Table that
+// cmd/experiments can dump as an amrquery-compatible colfile.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Status classifies how a run ended.
+type Status uint8
+
+const (
+	// StatusOK means the spec returned without error.
+	StatusOK Status = iota
+	// StatusErr means the spec returned an error.
+	StatusErr
+	// StatusPanic means the spec panicked; the panic was recovered into a
+	// *PanicError.
+	StatusPanic
+	// StatusTimeout means the spec exceeded the plan's per-run timeout. The
+	// run goroutine is abandoned (it cannot be killed) and its result
+	// discarded.
+	StatusTimeout
+)
+
+// String returns "ok", "err", "panic", or "timeout".
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusErr:
+		return "err"
+	case StatusPanic:
+		return "panic"
+	case StatusTimeout:
+		return "timeout"
+	}
+	return "unknown"
+}
+
+// Meter is the per-run observability sink handed to every spec. Specs report
+// domain counters (DES events processed) through it; the harness fills in
+// wall clock and status itself.
+type Meter struct {
+	events int64
+}
+
+// AddEvents accumulates DES events processed by this run.
+func (m *Meter) AddEvents(n int64) { m.events += n }
+
+// Spec is one independent unit of work in a plan.
+type Spec[T any] struct {
+	// ID labels the run in progress lines and the metrics table.
+	ID string
+	// Run produces the spec's value. It runs on an arbitrary worker
+	// goroutine; it must not touch state shared with other specs.
+	Run func(m *Meter) (T, error)
+}
+
+// Result is the outcome of one spec, in spec order.
+type Result[T any] struct {
+	ID     string
+	Value  T
+	Err    error
+	Status Status
+	Wall   time.Duration
+	Events int64
+}
+
+// PanicError wraps a recovered spec panic.
+type PanicError struct {
+	ID    string
+	Value interface{}
+	Stack []byte
+}
+
+// Error returns the panic value and the spec that raised it.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("harness: spec %q panicked: %v", p.ID, p.Value)
+}
+
+// TimeoutError marks a run that exceeded the plan timeout.
+type TimeoutError struct {
+	ID    string
+	Limit time.Duration
+}
+
+// Error returns the spec and the exceeded limit.
+func (t *TimeoutError) Error() string {
+	return fmt.Sprintf("harness: spec %q exceeded %v timeout", t.ID, t.Limit)
+}
+
+// Progress is one completion notification. Done counts completed runs (in
+// completion order, not spec order); ID/Status/Wall describe the run that
+// just finished.
+type Progress struct {
+	Campaign    string
+	Done, Total int
+	ID          string
+	Status      Status
+	Wall        time.Duration
+}
+
+// ProgressFunc observes run completions. It is called under the harness
+// mutex (never concurrently) but from worker goroutines.
+type ProgressFunc func(Progress)
+
+// Exec bundles the execution knobs every campaign shares. The zero value
+// runs with GOMAXPROCS workers, no timeout, no progress, no recording —
+// experiment code passes it through from Options so one -j flag reaches
+// every plan.
+type Exec struct {
+	// Workers is the fan-out width; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Timeout is the per-run limit; 0 means none. A timed-out run's
+	// goroutine is abandoned, not killed: the harness moves on and the
+	// stuck run keeps its goroutine until process exit, so timeouts are a
+	// safety net against simulated deadlock, not a cancellation mechanism.
+	Timeout time.Duration
+	// Progress, when set, observes every run completion.
+	Progress ProgressFunc
+	// Recorder, when set, accumulates per-run metrics across campaigns.
+	Recorder *Recorder
+}
+
+// Serial returns a copy of e pinned to one worker. Campaigns that measure
+// host wall clock inside specs (Fig 7c placement overhead, the §V-B solver
+// budget) use it so concurrent runs don't contend and inflate each other's
+// measurements.
+func (e Exec) Serial() Exec {
+	e.Workers = 1
+	return e
+}
+
+// workers resolves the effective pool size for n specs.
+func (e Exec) workers(n int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every spec of the campaign on a worker pool and returns the
+// results in spec order. It never returns early: failed, panicked, and
+// timed-out specs yield Results with a non-nil Err, and the remaining specs
+// still run. Run itself blocks until all non-timed-out work has finished.
+func Run[T any](e Exec, campaign string, specs []Spec[T]) []Result[T] {
+	n := len(specs)
+	results := make([]Result[T], n)
+	if n == 0 {
+		return results
+	}
+	var rec recording
+	if e.Recorder != nil {
+		rec.begin()
+	}
+	start := time.Now()
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for w := e.workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(e.Timeout, specs[i])
+				mu.Lock()
+				done++
+				if e.Progress != nil {
+					e.Progress(Progress{
+						Campaign: campaign, Done: done, Total: n,
+						ID: results[i].ID, Status: results[i].Status,
+						Wall: results[i].Wall,
+					})
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	if e.Recorder != nil {
+		recordCampaign(e.Recorder, campaign, time.Since(start), rec.end(), results)
+	}
+	return results
+}
+
+// runOne executes a single spec with panic recovery and the optional
+// timeout.
+func runOne[T any](timeout time.Duration, s Spec[T]) Result[T] {
+	res := Result[T]{ID: s.ID}
+	if timeout <= 0 {
+		start := time.Now()
+		res.Value, res.Err, res.Status, res.Events = call(s)
+		res.Wall = time.Since(start)
+		return res
+	}
+	type outcome struct {
+		value  T
+		err    error
+		status Status
+		events int64
+	}
+	ch := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		var o outcome
+		o.value, o.err, o.status, o.events = call(s)
+		ch <- o
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		res.Value, res.Err, res.Status, res.Events = o.value, o.err, o.status, o.events
+	case <-timer.C:
+		res.Err = &TimeoutError{ID: s.ID, Limit: timeout}
+		res.Status = StatusTimeout
+	}
+	res.Wall = time.Since(start)
+	return res
+}
+
+// call invokes the spec with panic recovery.
+func call[T any](s Spec[T]) (value T, err error, status Status, events int64) {
+	var m Meter
+	defer func() {
+		events = m.events
+		if r := recover(); r != nil {
+			err = &PanicError{ID: s.ID, Value: r, Stack: debug.Stack()}
+			status = StatusPanic
+		}
+	}()
+	value, err = s.Run(&m)
+	if err != nil {
+		status = StatusErr
+	}
+	return
+}
+
+// Values extracts the spec values in spec order, returning the first
+// failure (error, panic, or timeout) if any run did not succeed.
+func Values[T any](results []Result[T]) ([]T, error) {
+	out := make([]T, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, r.Err
+		}
+		out[i] = r.Value
+	}
+	return out, nil
+}
+
+// MustValues is Values for campaigns with statically-correct specs (the
+// experiment definitions): any failure panics.
+func MustValues[T any](results []Result[T]) []T {
+	out, err := Values(results)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

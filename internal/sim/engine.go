@@ -15,10 +15,7 @@
 // ever runnable, so process code needs no locking.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is virtual time in seconds.
 type Time = float64
@@ -32,23 +29,63 @@ type event struct {
 	proc *Proc
 }
 
+// eventHeap is a binary min-heap ordered by (t, seq). It is the hottest
+// data structure of every simulation, so instead of container/heap — whose
+// interface{}-based Push/Pop box each event onto the Go heap and dispatch
+// Less/Swap through an interface — the sift operations are inlined and
+// typed: push/pop never allocate beyond slice growth.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// less orders events by time, breaking ties by schedule sequence so
+// same-time events replay in scheduling order (the determinism guarantee).
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+// push appends ev and restores the heap by sifting it up.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event, sifting the root down.
+func (h *eventHeap) pop() event {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q[n] = event{} // release fn/proc references
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			break
+		}
+		q[i], q[least] = q[least], q[i]
+		i = least
+	}
+	return top
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
@@ -56,6 +93,7 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now     Time
 	seq     int64
+	events  int64
 	pq      eventHeap
 	procs   []*Proc // all spawned processes, for Close
 	running bool
@@ -67,6 +105,10 @@ func NewEngine() *Engine { return &Engine{} }
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// Events returns the number of events executed so far — the DES work metric
+// reported per run by the campaign harness.
+func (e *Engine) Events() int64 { return e.events }
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently reorder causality.
 func (e *Engine) At(t Time, fn func()) {
@@ -74,7 +116,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.pq, event{t: t, seq: e.seq, fn: fn})
+	e.pq.push(event{t: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
@@ -86,7 +128,7 @@ func (e *Engine) schedProc(t Time, p *Proc) {
 		panic("sim: proc scheduled in the past")
 	}
 	e.seq++
-	heap.Push(&e.pq, event{t: t, seq: e.seq, proc: p})
+	e.pq.push(event{t: t, seq: e.seq, proc: p})
 }
 
 // Step executes the next event. It returns false when no events remain.
@@ -94,8 +136,9 @@ func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.pq).(event)
+	ev := e.pq.pop()
 	e.now = ev.t
+	e.events++
 	if ev.fn != nil {
 		ev.fn()
 	} else {
