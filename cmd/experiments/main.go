@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only fig6,table1,...] [-j N] [-out f.col] [-timeout d]
+//	experiments [-quick] [-seed N] [-only fig6,table1,...] [-j N] [-out f.col] [-timeout d] [-paranoid]
 //
 // Full mode reproduces the paper's scales (512–4096 simulated ranks for the
 // Sedov runs, up to 131072 ranks for scalebench) and takes several minutes;
@@ -11,7 +11,11 @@
 // independent runs out onto -j workers (default GOMAXPROCS); tables are
 // bit-identical for any -j. Tables go to stdout; progress and timing go to
 // stderr. -out dumps the per-run campaign telemetry (wall time, DES events,
-// allocations) as a colfile readable by cmd/amrquery.
+// allocations) as a colfile readable by cmd/amrquery. -paranoid turns on
+// the runtime invariant audits of internal/check in every layer (MPI
+// collective membership, simnet queue accounting, per-epoch mesh/plan
+// consistency, teardown hygiene); a breached invariant aborts the run with
+// a structured violation instead of producing a silently wrong table.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"os"
 	"time"
 
+	"amrtools/internal/check"
 	"amrtools/internal/colfile"
 	"amrtools/internal/experiments"
 	"amrtools/internal/harness"
@@ -32,12 +37,20 @@ func main() {
 	workers := flag.Int("j", 0, "parallel runs per campaign (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "write per-run campaign telemetry to this colfile")
 	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none); a safety net against simulated deadlocks")
+	paranoid := flag.Bool("paranoid", false, "run every simulation with the internal/check invariant audits on")
 	flag.Parse()
 
+	if *paranoid {
+		// Force covers the runs that don't go through driver.Config too
+		// (the commbench and neighborhood microbenchmarks build their
+		// simulated worlds directly).
+		check.Force(true)
+	}
 	rec := harness.NewRecorder()
 	opts := experiments.Options{
-		Quick: *quick,
-		Seed:  *seed,
+		Quick:    *quick,
+		Seed:     *seed,
+		Paranoid: *paranoid,
 		Exec: harness.Exec{
 			Workers:  *workers,
 			Timeout:  *timeout,

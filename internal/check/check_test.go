@@ -1,0 +1,79 @@
+package check
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Layer: "mpi", Invariant: "collective-membership", Detail: "rank 3 joined twice"}
+	got := v.Error()
+	for _, want := range []string{"mpi", "collective-membership", "rank 3"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("Error() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func TestCatchRecoversViolation(t *testing.T) {
+	v, ok := Catch(func() { Failf("simnet", "shm-slot", "node %d slot count %d", 2, -1) })
+	if !ok {
+		t.Fatal("Catch did not recover the violation")
+	}
+	if v.Layer != "simnet" || v.Invariant != "shm-slot" || !strings.Contains(v.Detail, "node 2") {
+		t.Fatalf("recovered violation = %+v", v)
+	}
+}
+
+func TestCatchPassesThroughCompletion(t *testing.T) {
+	if v, ok := Catch(func() {}); ok || v != nil {
+		t.Fatalf("Catch of clean fn = (%v, %v)", v, ok)
+	}
+}
+
+func TestCatchRepanicsForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "not a violation" {
+			t.Fatalf("foreign panic = %v, want it re-raised", r)
+		}
+	}()
+	Catch(func() { panic("not a violation") })
+	t.Fatal("foreign panic swallowed")
+}
+
+func TestAssertf(t *testing.T) {
+	if v, ok := Catch(func() { Assertf(true, "sim", "x", "no") }); ok {
+		t.Fatalf("Assertf(true) fired: %v", v)
+	}
+	v, ok := Catch(func() { Assertf(false, "sim", "clock", "went backwards") })
+	if !ok || v.Invariant != "clock" {
+		t.Fatalf("Assertf(false) = (%v, %v)", v, ok)
+	}
+}
+
+type wrapErr struct{ inner error }
+
+func (w wrapErr) Error() string { return "wrapped: " + w.inner.Error() }
+func (w wrapErr) Unwrap() error { return w.inner }
+
+func TestAsUnwrapsErrorChains(t *testing.T) {
+	v := &Violation{Layer: "driver", Invariant: "plan-symmetry", Detail: "tag 7 orphaned"}
+	got, ok := As(wrapErr{inner: v})
+	if !ok || got != v {
+		t.Fatalf("As(wrapped) = (%v, %v)", got, ok)
+	}
+	if _, ok := As("some panic string"); ok {
+		t.Fatal("As recognized a non-violation")
+	}
+}
+
+func TestForce(t *testing.T) {
+	if Forced() {
+		t.Fatal("Forced() true before Force")
+	}
+	Force(true)
+	defer Force(false)
+	if !Forced() || !Enabled(false) {
+		t.Fatal("Force(true) not visible")
+	}
+}

@@ -1,0 +1,67 @@
+package driver
+
+import "amrtools/internal/check"
+
+// auditEpoch runs the paranoid epoch-consistency audits after buildEpochWith
+// assembled a new communication plan (see internal/check and DESIGN.md §3,
+// "Paranoid mode"):
+//
+//   - the cost vector used for placement covers every leaf exactly;
+//   - the mesh still satisfies 2:1 level balance;
+//   - blocksOf partitions the leaves (every leaf has exactly one owner);
+//   - the send/recv plans are symmetric: every send tag appears in exactly
+//     one recv list, on the destination block's owner, with the same size,
+//     and no recv lacks its send.
+//
+// Assignment validity (length, rank range) is always checked by
+// buildEpochWith itself; these audits only run when paranoid.
+func (st *runState) auditEpoch(ep *epoch, costs []float64, nranks int) {
+	n := len(ep.leafIDs)
+	check.Assertf(len(costs) == n, "driver", "cost-length",
+		"epoch placed with %d costs for %d leaves", len(costs), n)
+
+	if a, b, ok := st.m.CheckBalance(); !ok {
+		check.Failf("mesh", "two-one-balance",
+			"adjacent leaves %v and %v differ by more than one level", a, b)
+	}
+
+	owned := 0
+	for _, blocks := range ep.blocksOf {
+		owned += len(blocks)
+	}
+	check.Assertf(owned == n, "driver", "owner-cover",
+		"blocksOf covers %d blocks, want %d (a leaf is unowned or double-owned)", owned, n)
+
+	// Plan symmetry. Tags are globally unique per epoch, so each send must
+	// pair with exactly one recv and vice versa.
+	type plannedRecv struct {
+		rank, from, size, count int
+	}
+	recvs := make(map[int]plannedRecv)
+	totalRecvs := 0
+	for r, list := range ep.recvs {
+		for _, e := range list {
+			prev := recvs[e.tag]
+			recvs[e.tag] = plannedRecv{rank: r, from: e.from, size: e.size, count: prev.count + 1}
+			totalRecvs++
+		}
+	}
+	totalSends := 0
+	for r, list := range ep.sends {
+		for _, e := range list {
+			totalSends++
+			got, ok := recvs[e.tag]
+			check.Assertf(ok, "driver", "plan-symmetry",
+				"send tag %d (block %d -> block %d) from rank %d has no planned recv", e.tag, e.from, e.to, r)
+			check.Assertf(got.count == 1, "driver", "plan-symmetry",
+				"tag %d planned as %d recvs, want exactly 1", e.tag, got.count)
+			check.Assertf(got.rank == ep.assign[e.to], "driver", "plan-symmetry",
+				"tag %d recv planned on rank %d, but destination block %d is owned by rank %d",
+				e.tag, got.rank, e.to, ep.assign[e.to])
+			check.Assertf(got.size == e.size, "driver", "plan-symmetry",
+				"tag %d send size %d != recv size %d", e.tag, e.size, got.size)
+		}
+	}
+	check.Assertf(totalSends == totalRecvs, "driver", "plan-symmetry",
+		"%d sends vs %d recvs planned (orphaned recv entries)", totalSends, totalRecvs)
+}

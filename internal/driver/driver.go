@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"amrtools/internal/check"
 	"amrtools/internal/cost"
 	"amrtools/internal/critpath"
 	"amrtools/internal/mesh"
@@ -110,6 +111,15 @@ type Config struct {
 	// programmable telemetry triggers (§IV-C): arm heavier collection the
 	// moment a condition appears in live telemetry (see telemetry.Watcher).
 	OnStepRecord func(t *telemetry.Table, row int)
+
+	// Paranoid enables the runtime invariant audits of internal/check
+	// through every layer of the run: collective-round membership (mpi),
+	// shm-queue/NIC accounting (simnet), epoch and mesh consistency after
+	// every redistribution (driver/mesh), and teardown hygiene (mailboxes,
+	// receive queues, send requests, census reconciliation) at end of run.
+	// A breached invariant panics with a structured check.Violation. Off by
+	// default; tests force it on globally via check.Force.
+	Paranoid bool
 }
 
 // DefaultConfig returns a tuned-environment configuration with one initial
@@ -209,6 +219,7 @@ type epoch struct {
 // runState is the shared state rank 0 mutates at redistribution barriers.
 type runState struct {
 	cfg       Config
+	paranoid  bool // resolved Config.Paranoid || check.Forced()
 	m         *mesh.Mesh
 	rec       *cost.Recorder
 	ep        *epoch
@@ -243,9 +254,13 @@ func Run(cfg Config) (*Result, error) {
 	net := simnet.New(eng, cfg.Net)
 	world := mpi.NewWorld(eng, net)
 	nranks := world.NumRanks()
+	paranoid := check.Enabled(cfg.Paranoid)
+	net.SetParanoid(paranoid)
+	world.SetParanoid(paranoid)
 
 	st := &runState{
 		cfg:       cfg,
+		paranoid:  paranoid,
 		m:         mesh.NewUniform(cfg.RootDims[0], cfg.RootDims[1], cfg.RootDims[2], cfg.MaxLevel),
 		rec:       cost.NewRecorder(cfg.CostAlpha),
 		owner:     make(map[mesh.BlockID]int),
@@ -297,6 +312,12 @@ func Run(cfg Config) (*Result, error) {
 		eng.Close()
 		return nil, fmt.Errorf("driver: simulated deadlock, %d ranks blocked (first: %s)",
 			len(blocked), blocked[0].Name())
+	}
+	if st.paranoid {
+		// End-of-run audits: MPI teardown hygiene and census reconciliation,
+		// then full shm-queue release at engine drain.
+		world.AuditTeardown()
+		net.AuditDrained()
 	}
 
 	st.res.Makespan = eng.Now()
@@ -383,8 +404,8 @@ func (st *runState) buildEpoch(costs []float64, nranks int, initial bool) {
 }
 
 // inheritAssignment maps every current leaf to its previous owner, falling
-// back to the parent (for freshly refined blocks) or first child (for
-// freshly coarsened ones), and rank 0 as a last resort.
+// back to the parent (for freshly refined blocks) or the majority owner of
+// its children (for freshly coarsened ones), and rank 0 as a last resort.
 func (st *runState) inheritAssignment(leaves []*mesh.Block, nranks int) placement.Assignment {
 	assign := make(placement.Assignment, len(leaves))
 	for i, b := range leaves {
@@ -393,7 +414,7 @@ func (st *runState) inheritAssignment(leaves []*mesh.Block, nranks int) placemen
 			owner, ok = st.owner[b.ID.Parent()]
 		}
 		if !ok && b.ID.Level < st.m.MaxLevel() {
-			owner, ok = st.owner[b.ID.Children()[0]]
+			owner, ok = childMajorityOwner(st.owner, b.ID)
 		}
 		if !ok || owner < 0 || owner >= nranks {
 			owner = 0
@@ -403,12 +424,41 @@ func (st *runState) inheritAssignment(leaves []*mesh.Block, nranks int) placemen
 	return assign
 }
 
+// childMajorityOwner returns the owner that held the most of id's children,
+// breaking ties toward the earliest child in Z order. A coarsened block's
+// state lives wherever most of its children lived, so that rank is the
+// cheapest inheritor; consulting only Children()[0] mis-attributed the whole
+// merged block — and fell through to rank 0 — whenever that single child's
+// owner was unknown.
+func childMajorityOwner(owner map[mesh.BlockID]int, id mesh.BlockID) (int, bool) {
+	counts := make(map[int]int, 2)
+	var seen []int // owners in first-child order, for the tiebreak
+	for _, c := range id.Children() {
+		o, ok := owner[c]
+		if !ok {
+			continue
+		}
+		if counts[o] == 0 {
+			seen = append(seen, o)
+		}
+		counts[o]++
+	}
+	best, bestN := 0, 0
+	for _, o := range seen {
+		if counts[o] > bestN {
+			best, bestN = o, counts[o]
+		}
+	}
+	return best, bestN > 0
+}
+
 // buildEpochWith rebuilds the communication plan for a given assignment.
 func (st *runState) buildEpochWith(assign placement.Assignment, costs []float64, nranks int, initial bool) {
 	leaves := st.m.Leaves()
 	n := len(leaves)
 	if err := placement.Validate(assign, n, nranks); err != nil {
-		panic(fmt.Sprintf("driver: policy %s produced invalid assignment: %v", st.cfg.Policy.Name(), err))
+		check.Failf("placement", "assignment-valid",
+			"policy %s produced invalid assignment: %v", st.cfg.Policy.Name(), err)
 	}
 
 	ep := &epoch{
@@ -430,26 +480,34 @@ func (st *runState) buildEpochWith(assign placement.Assignment, costs []float64,
 	}
 
 	// Migration accounting: block moved if its (or its parent's) previous
-	// owner differs. Each moved block costs blockBytes over the fabric.
+	// owner differs. Each moved block costs blockBytes, priced at the path
+	// it actually crosses: intra-node moves ride shared memory, only
+	// inter-node moves pay the fabric — charging everything at remote rates
+	// overstated the rebalance cost of exactly the locality-preserving
+	// policies the PlacementEvery/Fig 6 comparisons are about.
 	blockBytes := st.cfg.BlockCells * st.cfg.BlockCells * st.cfg.BlockCells * st.cfg.NVars * 8
-	migIn := make([]int64, nranks)
-	migOut := make([]int64, nranks)
+	migTime := make([]float64, nranks)
 	if len(st.owner) > 0 {
+		rpn := st.cfg.Net.RanksPerNode
 		for i, id := range ep.leafIDs {
 			old, ok := st.owner[id]
 			if !ok && id.Level > 0 {
 				old, ok = st.owner[id.Parent()]
 			}
-			if !ok {
-				// Coarsened block: inherit from first child if known.
-				if st.m.MaxLevel() > id.Level {
-					old, ok = st.owner[id.Children()[0]]
-				}
+			if !ok && st.m.MaxLevel() > id.Level {
+				// Coarsened block: its state lives with the majority of its
+				// children.
+				old, ok = childMajorityOwner(st.owner, id)
 			}
-			if ok && old != assign[i] && old < nranks {
+			if ok && old != assign[i] && old >= 0 && old < nranks {
 				st.res.Migrations++
-				migOut[old] += int64(blockBytes)
-				migIn[assign[i]] += int64(blockBytes)
+				bw := st.cfg.Net.RemoteBandwidth
+				if old/rpn == assign[i]/rpn {
+					bw = st.cfg.Net.LocalBandwidth
+				}
+				t := float64(blockBytes) / bw
+				migTime[old] += t
+				migTime[assign[i]] += t
 			}
 		}
 	}
@@ -457,9 +515,8 @@ func (st *runState) buildEpochWith(assign placement.Assignment, costs []float64,
 	for i, id := range ep.leafIDs {
 		st.owner[id] = assign[i]
 	}
-	bw := st.cfg.Net.RemoteBandwidth
 	for r := 0; r < nranks; r++ {
-		st.rebCharge[r] = st.cfg.PlacementCharge + float64(migIn[r]+migOut[r])/bw
+		st.rebCharge[r] = st.cfg.PlacementCharge + migTime[r]
 	}
 
 	// Communication plan: one directed exchange per (block, boundary
@@ -488,6 +545,9 @@ func (st *runState) buildEpochWith(assign placement.Assignment, costs []float64,
 				addExchange(i, j, fluxSize)
 			}
 		}
+	}
+	if st.paranoid {
+		st.auditEpoch(ep, costs, nranks)
 	}
 	st.ep = ep
 	st.res.BlockHistory = append(st.res.BlockHistory, n)

@@ -37,6 +37,10 @@ type Options struct {
 	// runner's harness plan. The zero value runs plans on GOMAXPROCS
 	// workers with no timeout and no recording.
 	Exec harness.Exec
+	// Paranoid turns on the runtime invariant audits (internal/check) in
+	// every driver run the experiments launch. The differential experiment
+	// always runs paranoid regardless of this flag.
+	Paranoid bool
 }
 
 // SedovScale is one Table I configuration.
@@ -77,9 +81,12 @@ func (o Options) steps() int {
 	return 60
 }
 
-// sedovConfig builds the standard tuned-environment Sedov run.
-func sedovConfig(sc SedovScale, pol placement.Policy, steps int, seed uint64) driver.Config {
-	return driver.DefaultConfig(sc.RootDims, 2, steps, pol, seed)
+// sedovConfig builds the standard tuned-environment Sedov run, carrying the
+// options' paranoid switch into the driver.
+func (o Options) sedovConfig(sc SedovScale, pol placement.Policy, steps int, seed uint64) driver.Config {
+	cfg := driver.DefaultConfig(sc.RootDims, 2, steps, pol, seed)
+	cfg.Paranoid = o.Paranoid
+	return cfg
 }
 
 // sedovSpec wraps one driver run as a harness spec, reporting the run's

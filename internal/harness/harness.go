@@ -105,6 +105,10 @@ func (p *PanicError) Error() string {
 	return fmt.Sprintf("harness: spec %q panicked: %v", p.ID, p.Value)
 }
 
+// PanicValue returns the recovered panic value, so callers (e.g.
+// check.As) can inspect what the spec actually panicked with.
+func (p *PanicError) PanicValue() interface{} { return p.Value }
+
 // TimeoutError marks a run that exceeded the plan timeout.
 type TimeoutError struct {
 	ID    string

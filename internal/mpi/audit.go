@@ -1,0 +1,87 @@
+// Paranoid-mode audits for the MPI runtime (see internal/check): inline
+// collective-membership tracking lives in joinCollective; this file holds the
+// end-of-run teardown audit and the paranoid switch.
+package mpi
+
+import "amrtools/internal/check"
+
+// SetParanoid enables or disables the world's invariant audits. The global
+// check.Force override wins over an explicit false. Call before Spawn:
+// send-request tracking only covers sends posted while paranoid.
+func (w *World) SetParanoid(on bool) { w.paranoid = check.Enabled(on) }
+
+// Paranoid reports whether the world's invariant audits are enabled.
+func (w *World) Paranoid() bool { return w.paranoid }
+
+// sendRecord remembers one posted send request for the teardown audit.
+type sendRecord struct {
+	req           *Request
+	src, dst, tag int
+}
+
+// AuditTeardown verifies end-of-run MPI hygiene after the engine drained:
+//
+//   - no collective round is still open;
+//   - every mailbox is empty (no message arrived that nothing received);
+//   - every receive queue is empty (no Irecv was left unmatched);
+//   - every send request posted while paranoid completed;
+//   - the per-rank meter totals reconcile with the network census
+//     (MsgsSent vs LocalMsgs+RemoteMsgs, bytes likewise, and everything
+//     sent was received).
+//
+// Any breach panics with a structured check.Violation. Call only after a
+// clean engine drain (a deadlock already reports more precisely through
+// Engine.Blocked).
+func (w *World) AuditTeardown() {
+	check.Assertf(w.barrier == nil, "mpi", "collective-round-open",
+		"a collective round (%s) is still open at teardown with %d arrivals",
+		openOp(w.barrier), openArrivals(w.barrier))
+	for dst, box := range w.mailbox {
+		for key, q := range box {
+			check.Assertf(len(q) == 0, "mpi", "mailbox-drain",
+				"rank %d holds %d orphaned messages from rank %d tag %d at teardown",
+				dst, len(q), key.src, key.tag)
+		}
+	}
+	for dst, rq := range w.recvq {
+		for key, reqs := range rq {
+			check.Assertf(len(reqs) == 0, "mpi", "recvq-drain",
+				"rank %d still has %d unmatched Irecv(src=%d, tag=%d) at teardown",
+				dst, len(reqs), key.src, key.tag)
+		}
+	}
+	for _, s := range w.sends {
+		check.Assertf(s.req.Done(), "mpi", "send-completion",
+			"send %d->%d tag %d never completed", s.src, s.dst, s.tag)
+	}
+
+	var sent, recvd, bytes int64
+	for i := range w.meters {
+		sent += w.meters[i].MsgsSent
+		recvd += w.meters[i].MsgsRecvd
+		bytes += w.meters[i].BytesSent
+	}
+	c := w.net.Census
+	check.Assertf(sent == c.LocalMsgs+c.RemoteMsgs, "mpi", "census-msgs",
+		"meters record %d sends but the census counted %d (%d local + %d remote)",
+		sent, c.LocalMsgs+c.RemoteMsgs, c.LocalMsgs, c.RemoteMsgs)
+	check.Assertf(bytes == c.LocalBytes+c.RemoteBytes, "mpi", "census-bytes",
+		"meters record %d bytes sent but the census counted %d (%d local + %d remote)",
+		bytes, c.LocalBytes+c.RemoteBytes, c.LocalBytes, c.RemoteBytes)
+	check.Assertf(recvd == sent, "mpi", "census-recvd",
+		"%d messages sent but %d received at teardown", sent, recvd)
+}
+
+func openOp(b *barrierState) string {
+	if b == nil {
+		return ""
+	}
+	return b.op
+}
+
+func openArrivals(b *barrierState) int {
+	if b == nil {
+		return 0
+	}
+	return b.arrived
+}

@@ -15,6 +15,7 @@ package mpi
 import (
 	"fmt"
 
+	"amrtools/internal/check"
 	"amrtools/internal/sim"
 	"amrtools/internal/simnet"
 	"amrtools/internal/xrand"
@@ -70,6 +71,14 @@ type World struct {
 	// duration). The telemetry collector hooks in here to catch the
 	// MPI_Wait spikes of Fig 1b.
 	OnWait func(rank int, kind WaitKind, dur float64)
+
+	// paranoid enables the invariant audits of internal/check: collective
+	// round membership inline, message/request hygiene at AuditTeardown.
+	// Defaults to check.Forced() (on under test helpers).
+	paranoid bool
+	// sends tracks every posted send request for the teardown audit
+	// (populated only when paranoid).
+	sends []sendRecord
 }
 
 type msgKey struct{ src, tag int }
@@ -88,6 +97,7 @@ func NewWorld(eng *sim.Engine, net *simnet.Network) *World {
 		mailbox: make([]map[msgKey][]*arrival, n),
 		recvq:   make([]map[msgKey][]*Request, n),
 	}
+	w.paranoid = check.Forced()
 	seedRoot := xrand.New(net.Config().Seed ^ 0x5eed)
 	for i := 0; i < n; i++ {
 		w.rngs[i] = seedRoot.Split()
@@ -162,6 +172,9 @@ func (c *Comm) Isend(dst, tag, bytes int) *Request {
 	plan := w.net.PlanSend(c.rank, dst, bytes)
 	req := &Request{fut: sim.NewFuture(), kind: WaitSend, bytes: bytes}
 	src := c.rank
+	if w.paranoid {
+		w.sends = append(w.sends, sendRecord{req: req, src: src, dst: dst, tag: tag})
+	}
 	w.eng.After(plan.SenderDoneAfter, func() { req.fut.Complete(w.eng) })
 	w.eng.After(plan.DeliverAfter, func() {
 		w.net.DeliveryDone(src, plan)
@@ -231,17 +244,32 @@ type barrierState struct {
 	// op guards against mismatched collectives: every rank in a round must
 	// call the same operation (as MPI requires).
 	op string
+	// members tracks which ranks joined this round (paranoid mode only): a
+	// duplicate arrival would hit the release count with a rank still
+	// missing, silently releasing the collective early.
+	members []bool
 }
 
 // joinCollective registers the caller in the current collective round,
-// enforcing that all ranks call the same operation.
-func (w *World) joinCollective(op string) *barrierState {
+// enforcing that all ranks call the same operation and (in paranoid mode)
+// that no rank joins the same round twice.
+func (w *World) joinCollective(op string, rank int) *barrierState {
 	if w.barrier == nil {
 		w.barrier = &barrierState{fut: sim.NewFuture(), op: op}
+		if w.paranoid {
+			w.barrier.members = make([]bool, w.nranks)
+		}
 	}
 	b := w.barrier
 	if b.op != op {
-		panic(fmt.Sprintf("mpi: mismatched collectives in one round: %s vs %s", b.op, op))
+		check.Failf("mpi", "collective-op",
+			"mismatched collectives in one round: %s vs %s", b.op, op)
+	}
+	if b.members != nil {
+		check.Assertf(!b.members[rank], "mpi", "collective-membership",
+			"rank %d joined the same %s round twice (arrival %d/%d): a duplicate arrival releases the collective with another rank still missing",
+			rank, op, b.arrived+1, w.nranks)
+		b.members[rank] = true
 	}
 	b.arrived++
 	return b
@@ -253,7 +281,7 @@ func (w *World) joinCollective(op string) *barrierState {
 // synchronization phase.
 func (c *Comm) Barrier() {
 	w := c.w
-	b := w.joinCollective("barrier")
+	b := w.joinCollective("barrier", c.rank)
 	arrivedAt := c.p.Now()
 	if b.arrived == w.nranks {
 		w.barrier = nil // next Barrier call starts a new round
@@ -272,7 +300,7 @@ func (c *Comm) Barrier() {
 // the straggler.
 func (c *Comm) AllreduceSum(v float64) float64 {
 	w := c.w
-	b := w.joinCollective("allreduce")
+	b := w.joinCollective("allreduce", c.rank)
 	b.sum += v
 	arrivedAt := c.p.Now()
 	if b.arrived == w.nranks {

@@ -62,6 +62,7 @@ func (p CPLX) Assign(costs []float64, nranks int) Assignment {
 // x% most loaded and x/2%-from-each-end ranks of a, pool every block they
 // own, and re-place the pool across exactly those ranks with LPT. Ranks
 // outside the selection are untouched, preserving their locality.
+// x = 0 means rebalance zero percent of the ranks: a is left untouched.
 func RebalanceExtremes(costs []float64, a Assignment, nranks, x int) {
 	rebalance(costs, a, nranks, x, false)
 }
@@ -70,6 +71,12 @@ func RebalanceExtremes(costs []float64, a Assignment, nranks, x int) {
 // entirely from the overloaded end (the ablation of §V-D's "both ends"
 // design argument).
 func rebalance(costs []float64, a Assignment, nranks, x int, topOnly bool) {
+	if x <= 0 {
+		// Zero percent selects zero ranks. The "at least one per end" bump
+		// below is only for small rank counts at x > 0; applying it here made
+		// the exported entry point shuffle two ranks when told to touch none.
+		return
+	}
 	loads := Loads(costs, a, nranks)
 	order := make([]int, nranks) // ranks sorted by descending load
 	for i := range order {

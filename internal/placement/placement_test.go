@@ -565,3 +565,30 @@ func TestCPLXTopOnlyValidityAndName(t *testing.T) {
 		t.Fatalf("both-ends %.4f worse than top-only %.4f", both, top)
 	}
 }
+
+// TestRebalanceExtremesZeroIsNoOp pins the x=0 fix: the exported entry point
+// documents "rebalance X percent of the ranks", so zero percent must leave
+// the assignment untouched. Pre-fix, the at-least-one-per-end bump kicked in
+// even at x=0 and quietly rebalanced the two extreme ranks. (CPLX.Assign's
+// X=0 early return masked this for the policy path.)
+func TestRebalanceExtremesZeroIsNoOp(t *testing.T) {
+	costs := []float64{10, 9, 1, 1, 1, 1, 1, 1}
+	a := Assignment{0, 0, 1, 1, 2, 2, 3, 3} // rank 0 heavily overloaded
+	want := append(Assignment(nil), a...)
+
+	RebalanceExtremes(costs, a, 4, 0)
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("x=0 rebalance moved block %d: %d -> %d (full: %v -> %v)",
+				i, want[i], a[i], want, a)
+		}
+	}
+
+	// Sanity: the same call with x > 0 does rebalance this assignment, so
+	// the no-op above is the fix, not an accident of the inputs.
+	moved := append(Assignment(nil), want...)
+	RebalanceExtremes(costs, moved, 4, 50)
+	if Makespan(costs, moved, 4) >= Makespan(costs, want, 4) {
+		t.Fatalf("x=50 control did not improve makespan: %v", moved)
+	}
+}

@@ -15,6 +15,10 @@ type Proc struct {
 	started  bool
 	finished bool
 	kill     bool
+
+	// panicked captures a non-kill panic raised inside the process body; the
+	// engine re-raises it when it regains control (see run).
+	panicked interface{}
 }
 
 // killedError unwinds a process goroutine terminated by Engine.Close.
@@ -24,6 +28,13 @@ func (k killedError) Error() string { return "sim: proc " + k.name + " killed" }
 
 // Spawn creates a process running fn, scheduled to start at the current
 // virtual time. fn runs in its own goroutine under engine control.
+//
+// A panic inside fn (other than the engine-kill unwind) is captured and
+// re-raised from the engine caller's goroutine (Run/Step), where tests and
+// the campaign harness can recover it — a panic in the process goroutine
+// itself would crash the whole process unrecoverably. After such a panic the
+// engine is poisoned: remaining process goroutines stay parked until process
+// exit, exactly like a timed-out harness run.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		eng:   e,
@@ -36,7 +47,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killedError); !ok {
-					panic(r) // real bug: propagate
+					p.panicked = r // re-raised by run in the engine goroutine
 				}
 			}
 			p.finished = true
@@ -55,10 +66,15 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 func (p *Proc) Name() string { return p.name }
 
 // run resumes the process goroutine and waits until it blocks or finishes.
-// Called only by the engine.
+// Called only by the engine. A panic captured from the process body is
+// re-raised here, in the engine caller's goroutine.
 func (p *Proc) run() {
 	p.sched <- struct{}{}
 	<-p.yield
+	if r := p.panicked; r != nil {
+		p.panicked = nil
+		panic(r)
+	}
 }
 
 // block hands control back to the engine and waits to be rescheduled.

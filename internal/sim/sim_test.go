@@ -291,3 +291,40 @@ func BenchmarkProcSwitch(b *testing.B) {
 	b.ResetTimer()
 	e.Run()
 }
+
+// TestProcPanicPropagatesToEngineCaller pins the panic-forwarding contract:
+// a panic inside a process body must surface from Engine.Run in the caller's
+// goroutine (where tests and the campaign harness can recover it), carrying
+// the original panic value, instead of crashing the process from the
+// unrecoverable proc goroutine.
+func TestProcPanicPropagatesToEngineCaller(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("healthy", func(p *Proc) { p.Sleep(5) })
+	e.Spawn("buggy", func(p *Proc) {
+		p.Sleep(1)
+		panic("rank bug")
+	})
+	var recovered interface{}
+	func() {
+		defer func() { recovered = recover() }()
+		e.Run()
+		t.Error("Run returned instead of panicking")
+	}()
+	if recovered != "rank bug" {
+		t.Fatalf("recovered %v, want the original panic value", recovered)
+	}
+}
+
+// TestProcPanicAtStartPropagates covers the panic-before-first-block path.
+func TestProcPanicAtStartPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("instant", func(p *Proc) { panic(42) })
+	var recovered interface{}
+	func() {
+		defer func() { recovered = recover() }()
+		e.Run()
+	}()
+	if recovered != 42 {
+		t.Fatalf("recovered %v, want 42", recovered)
+	}
+}

@@ -1,0 +1,75 @@
+package simnet
+
+import (
+	"os"
+	"testing"
+
+	"amrtools/internal/check"
+	"amrtools/internal/sim"
+)
+
+// TestMain forces paranoid mode on for every network this package builds,
+// so the standard test suite doubles as a violation-free audit pass.
+func TestMain(m *testing.M) {
+	check.Force(true)
+	os.Exit(m.Run())
+}
+
+func TestParanoidShmDoubleRelease(t *testing.T) {
+	// Releasing the same local delivery twice drives the node's slot count
+	// negative — the accounting bug that silently disables contention.
+	cfg := Tuned(1, 2, 1)
+	cfg.AckLossProb = 0
+	n := New(sim.NewEngine(), cfg)
+	p := n.PlanSend(0, 1, 100)
+	n.DeliveryDone(0, p)
+	v, ok := check.Catch(func() { n.DeliveryDone(0, p) })
+	if !ok {
+		t.Fatal("double slot release raised no violation")
+	}
+	if v.Layer != "simnet" || v.Invariant != "shm-slot" {
+		t.Fatalf("violation = %v, want simnet/shm-slot", v)
+	}
+}
+
+func TestParanoidShmSlotHeldAtDrain(t *testing.T) {
+	// A local send whose DeliveryDone never runs means a lost delivery
+	// event; the drain audit must flag the held slot.
+	cfg := Tuned(1, 2, 1)
+	cfg.AckLossProb = 0
+	n := New(sim.NewEngine(), cfg)
+	_ = n.PlanSend(0, 1, 100) // slot acquired, never released
+	v, ok := check.Catch(func() { n.AuditDrained() })
+	if !ok {
+		t.Fatal("held shm slot raised no violation at drain")
+	}
+	if v.Layer != "simnet" || v.Invariant != "shm-drain" {
+		t.Fatalf("violation = %v, want simnet/shm-drain", v)
+	}
+}
+
+func TestParanoidNICClockMonotone(t *testing.T) {
+	// A corrupted config with negative per-message overhead computes a
+	// departure before the NIC's free-at time — the clock rewind that lets
+	// later messages overtake egress serialization.
+	cfg := Tuned(2, 1, 1)
+	cfg.AckLossProb = 0
+	cfg.RemoteMsgOverhead = -1
+	n := New(sim.NewEngine(), cfg)
+	v, ok := check.Catch(func() { n.PlanSend(0, 1, 100) })
+	if !ok {
+		t.Fatal("NIC clock rewind raised no violation")
+	}
+	if v.Layer != "simnet" || v.Invariant != "nic-monotone" {
+		t.Fatalf("violation = %v, want simnet/nic-monotone", v)
+	}
+}
+
+func TestAuditDrainedCleanAfterRelease(t *testing.T) {
+	cfg := Tuned(1, 2, 1)
+	cfg.AckLossProb = 0
+	n := New(sim.NewEngine(), cfg)
+	p := n.PlanSend(0, 1, 100)
+	n.DeliveryDone(0, p)
+	n.AuditDrained() // must not panic
+}

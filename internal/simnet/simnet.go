@@ -16,6 +16,7 @@
 package simnet
 
 import (
+	"amrtools/internal/check"
 	"amrtools/internal/sim"
 	"amrtools/internal/xrand"
 )
@@ -125,6 +126,11 @@ type Network struct {
 	nicFreeAt []float64 // per-node NIC egress availability
 	shmInUse  []int     // per-node in-flight local messages
 	Census    Census
+
+	// paranoid enables the invariant audits of internal/check: shm queue
+	// accounting and NIC-clock monotonicity inline, full queue release at
+	// AuditDrained. Defaults to check.Forced() (on under test helpers).
+	paranoid bool
 }
 
 // New builds a Network over the engine.
@@ -138,8 +144,16 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		rng:       xrand.New(cfg.Seed),
 		nicFreeAt: make([]float64, cfg.Nodes),
 		shmInUse:  make([]int, cfg.Nodes),
+		paranoid:  check.Forced(),
 	}
 }
+
+// SetParanoid enables or disables the network's invariant audits. The global
+// check.Force override wins over an explicit false.
+func (n *Network) SetParanoid(on bool) { n.paranoid = check.Enabled(on) }
+
+// Paranoid reports whether the network's invariant audits are enabled.
+func (n *Network) Paranoid() bool { return n.paranoid }
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -209,6 +223,13 @@ func (n *Network) planRemote(src, dst, bytes int) SendPlan {
 		start = n.nicFreeAt[node]
 	}
 	depart := start + n.cfg.RemoteMsgOverhead + float64(bytes)/n.cfg.RemoteBandwidth
+	if n.paranoid {
+		// The NIC egress clock must never rewind: a departure earlier than
+		// the previous one would let later messages overtake serialization.
+		check.Assertf(depart >= n.nicFreeAt[node], "simnet", "nic-monotone",
+			"node %d NIC clock rewound: depart %.9g < free-at %.9g (msg %d->%d, %d bytes)",
+			node, depart, n.nicFreeAt[node], src, dst, bytes)
+	}
 	n.nicFreeAt[node] = depart
 	deliver := depart + n.cfg.RemoteLatency - now
 
@@ -232,7 +253,25 @@ func (n *Network) planRemote(src, dst, bytes int) SendPlan {
 // message from src. Remote deliveries carry no slot.
 func (n *Network) DeliveryDone(src int, plan SendPlan) {
 	if plan.Local {
-		n.shmInUse[n.NodeOf(src)]--
+		node := n.NodeOf(src)
+		n.shmInUse[node]--
+		if n.paranoid {
+			check.Assertf(n.shmInUse[node] >= 0, "simnet", "shm-slot",
+				"node %d released more shm queue slots than it acquired (count %d)",
+				node, n.shmInUse[node])
+		}
+	}
+}
+
+// AuditDrained verifies that every shared-memory queue slot acquired by a
+// local send was released by its DeliveryDone — i.e. the engine drained with
+// no local message still in flight. Call after the engine runs dry; a held
+// slot means a lost delivery event, which would silently skew every later
+// contention measurement. Panics with a check.Violation on failure.
+func (n *Network) AuditDrained() {
+	for node, inUse := range n.shmInUse {
+		check.Assertf(inUse == 0, "simnet", "shm-drain",
+			"node %d still holds %d shm queue slots at engine drain", node, inUse)
 	}
 }
 
