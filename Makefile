@@ -21,8 +21,11 @@ test:
 race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
 
+# One iteration of every root benchmark (each regenerates a paper table or
+# figure); benchjson tees the text output through and archives the parsed
+# results as BENCH_PR3.json for the CI artifact.
 bench:
-	$(GO) test -bench=. -benchtime=1x .
+	$(GO) test -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out BENCH_PR3.json
 
 fmt:
 	gofmt -l . && test -z "$$(gofmt -l .)"

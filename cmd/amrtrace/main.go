@@ -1,0 +1,113 @@
+// Command amrtrace inspects flight-recorder span streams written by the
+// simulation tools (`experiments -trace dir/` or any driver run with
+// Config.Trace set) — the paper's §IV-C diagnosis loop applied to full
+// event timelines instead of per-step aggregates.
+//
+// Usage:
+//
+//	amrtrace -file spans.col                 # run the built-in detectors, print the report
+//	amrtrace -file spans.col -schema         # print the span schema and row count
+//	amrtrace -file spans.col -tql "SELECT rank, sum(dur) AS wait FROM t WHERE kind = 'send_wait' GROUP BY rank ORDER BY wait DESC LIMIT 5"
+//	amrtrace -file spans.col -perfetto out.json
+//	amrtrace -file spans.col -tql "SELECT * FROM t WHERE step >= 10" -perfetto out.json
+//
+// The span table is named "t" in queries. -perfetto converts spans (or, when
+// combined with -tql, the query result) to Chrome trace-event JSON loadable
+// in Perfetto or chrome://tracing: one timeline row per rank, one slice per
+// span. Without -tql or -perfetto the command runs the wait-spike,
+// shm-contention and throttling detectors (internal/trace/diagnose) and
+// prints their findings, including the pre/post probe drift column.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amrtools/internal/colfile"
+	"amrtools/internal/telemetry"
+	"amrtools/internal/tql"
+	"amrtools/internal/trace"
+	"amrtools/internal/trace/diagnose"
+)
+
+func main() {
+	file := flag.String("file", "", "span colfile (written by experiments -trace or driver runs)")
+	schema := flag.Bool("schema", false, "print the span schema and row count, then exit")
+	query := flag.String("tql", "", "TQL query over the span table (named \"t\")")
+	perfetto := flag.String("perfetto", "", "write spans as Chrome trace-event JSON to this file")
+	maxRows := flag.Int("rows", 50, "maximum rows to print (0 = all)")
+	flag.Parse()
+
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "amrtrace: -file is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		fail(err)
+	}
+	table, err := colfile.ReadAll(f)
+	f.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	if *schema {
+		fmt.Printf("%s: %d spans\n", *file, table.NumRows())
+		for _, s := range table.Schema() {
+			fmt.Printf("  %-16s %s\n", s.Name, s.Type)
+		}
+		return
+	}
+
+	if *query != "" {
+		out, err := tql.Run(*query, map[string]*telemetry.Table{"t": table})
+		if err != nil {
+			fail(err)
+		}
+		if *perfetto != "" {
+			// The query result becomes the exported timeline: slice the
+			// trace down (by step window, kind, rank...) before handing it
+			// to Perfetto. The result must keep the span columns.
+			writePerfetto(out, *perfetto)
+			return
+		}
+		fmt.Print(out.Render(*maxRows))
+		return
+	}
+
+	if *perfetto != "" {
+		writePerfetto(table, *perfetto)
+		return
+	}
+
+	// Default mode: run the detectors and print the diagnosis report.
+	findings := diagnose.Diagnose(table, diagnose.Options{})
+	if len(findings) == 0 {
+		fmt.Printf("%s: %d spans, no findings (wait-spike, shm-contention and throttling detectors all clean)\n",
+			*file, table.NumRows())
+		return
+	}
+	fmt.Print(diagnose.ReportTable(findings).Render(*maxRows))
+}
+
+func writePerfetto(t *telemetry.Table, path string) {
+	out, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := trace.WritePerfetto(out, t); err != nil {
+		out.Close()
+		fail(err)
+	}
+	if err := out.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "amrtrace: %d spans -> %s\n", t.NumRows(), path)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "amrtrace:", err)
+	os.Exit(1)
+}

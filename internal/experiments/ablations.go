@@ -42,12 +42,12 @@ func Ablations(opts Options) *telemetry.Table {
 		return cfg
 	}
 	specs := []harness.Spec[*driver.Result]{
-		sedovSpec("baseline", opts.sedovConfig(sc, placement.Baseline{}, steps, opts.Seed)),
-		sedovSpec("measured-costs", cplxCfg(func(cfg *driver.Config) { cfg.UseMeasuredCosts = true })),
-		sedovSpec("unit-costs", cplxCfg(func(cfg *driver.Config) { cfg.UseMeasuredCosts = false })),
-		sedovSpec("alpha-1.0", cplxCfg(func(cfg *driver.Config) { cfg.CostAlpha = 1.0 })),
-		sedovSpec("alpha-0.5", cplxCfg(func(cfg *driver.Config) { cfg.CostAlpha = 0.5 })),
-		sedovSpec("alpha-0.1", cplxCfg(func(cfg *driver.Config) { cfg.CostAlpha = 0.1 })),
+		opts.sedovSpec("baseline", opts.sedovConfig(sc, placement.Baseline{}, steps, opts.Seed)),
+		opts.sedovSpec("measured-costs", cplxCfg(func(cfg *driver.Config) { cfg.UseMeasuredCosts = true })),
+		opts.sedovSpec("unit-costs", cplxCfg(func(cfg *driver.Config) { cfg.UseMeasuredCosts = false })),
+		opts.sedovSpec("alpha-1.0", cplxCfg(func(cfg *driver.Config) { cfg.CostAlpha = 1.0 })),
+		opts.sedovSpec("alpha-0.5", cplxCfg(func(cfg *driver.Config) { cfg.CostAlpha = 0.5 })),
+		opts.sedovSpec("alpha-0.1", cplxCfg(func(cfg *driver.Config) { cfg.CostAlpha = 0.1 })),
 	}
 	results := runCampaign(opts, "ablations", specs)
 	base := results[0]

@@ -19,11 +19,18 @@
 package experiments
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"amrtools/internal/colfile"
 	"amrtools/internal/driver"
 	"amrtools/internal/harness"
 	"amrtools/internal/physics"
 	"amrtools/internal/placement"
 	"amrtools/internal/simnet"
+	"amrtools/internal/trace"
 )
 
 // Options selects experiment scale. Quick mode shrinks rank counts and step
@@ -41,6 +48,13 @@ type Options struct {
 	// every driver run the experiments launch. The differential experiment
 	// always runs paranoid regardless of this flag.
 	Paranoid bool
+	// TraceDir, when non-empty, turns on the flight recorder
+	// (internal/trace) in every driver run and writes each run's span
+	// stream as `<TraceDir>/<campaign>--<id>.col` — a colfile readable by
+	// cmd/amrtrace and cmd/amrquery. Span colfiles derive from the
+	// deterministic simulation only, so they are bit-identical across
+	// Exec.Workers settings.
+	TraceDir string
 }
 
 // SedovScale is one Table I configuration.
@@ -90,8 +104,12 @@ func (o Options) sedovConfig(sc SedovScale, pol placement.Policy, steps int, see
 }
 
 // sedovSpec wraps one driver run as a harness spec, reporting the run's
-// DES event count to the campaign metrics.
-func sedovSpec(id string, cfg driver.Config) harness.Spec[*driver.Result] {
+// DES event count to the campaign metrics. When the options carry a
+// TraceDir, the run gets the flight recorder (runCampaign dumps the spans).
+func (o Options) sedovSpec(id string, cfg driver.Config) harness.Spec[*driver.Result] {
+	if o.TraceDir != "" && cfg.Trace == nil {
+		cfg.Trace = &trace.Config{}
+	}
 	return harness.Spec[*driver.Result]{
 		ID: id,
 		Run: func(m *harness.Meter) (*driver.Result, error) {
@@ -108,8 +126,42 @@ func sedovSpec(id string, cfg driver.Config) harness.Spec[*driver.Result] {
 // runCampaign fans the specs out through the harness and returns their
 // results in spec order, panicking on any failure (the experiment
 // definitions are static, so a failed run is a bug, not an input error).
+// With Options.TraceDir set, every traced run's span table is written as
+// `<TraceDir>/<campaign>--<id>.col`.
 func runCampaign(opts Options, campaign string, specs []harness.Spec[*driver.Result]) []*driver.Result {
-	return harness.MustValues(harness.Run(opts.Exec, campaign, specs))
+	results := harness.MustValues(harness.Run(opts.Exec, campaign, specs))
+	if opts.TraceDir != "" {
+		if err := dumpSpans(opts.TraceDir, campaign, specs, results); err != nil {
+			panic(fmt.Sprintf("experiments: span dump failed: %v", err))
+		}
+	}
+	return results
+}
+
+// dumpSpans writes each traced result's span table as a colfile named
+// `<campaign>--<id>.col` ("/" in spec ids becomes "_").
+func dumpSpans(dir, campaign string, specs []harness.Spec[*driver.Result], results []*driver.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, res := range results {
+		if res == nil || res.Spans == nil {
+			continue
+		}
+		name := campaign + "--" + strings.ReplaceAll(specs[i].ID, "/", "_") + ".col"
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := colfile.WriteTable(f, res.Spans.Table(), 8192); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // untunedNet is the pre-§IV environment for a given cluster size.

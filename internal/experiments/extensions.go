@@ -45,7 +45,7 @@ func LBIntervalSweep(opts Options) *telemetry.Table {
 		if every == never {
 			id = "never"
 		}
-		specs = append(specs, sedovSpec(id, cfg))
+		specs = append(specs, opts.sedovSpec(id, cfg))
 	}
 	var ref float64
 	for i, res := range runCampaign(opts, "lbinterval", specs) {

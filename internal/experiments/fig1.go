@@ -35,7 +35,7 @@ func Fig1Top(opts Options) *telemetry.Table {
 			cfg.Net = untunedNet(cfg.Net.Nodes, cfg.Net.RanksPerNode, opts.Seed)
 			cfg.SendsFirst = false
 		}
-		specs = append(specs, sedovSpec(name, cfg))
+		specs = append(specs, opts.sedovSpec(name, cfg))
 	}
 	for i, res := range runCampaign(opts, "fig1top", specs) {
 		corr, cv := commCorrelation(res)
@@ -84,7 +84,7 @@ func Fig1Bottom(opts Options) *telemetry.Table {
 		// sends-first order would overlap the stall behind compute.
 		cfg.SendsFirst = false
 		cfg.CollectWaits = true
-		specs = append(specs, sedovSpec(name, cfg))
+		specs = append(specs, opts.sedovSpec(name, cfg))
 	}
 	for i, res := range runCampaign(opts, "fig1bottom", specs) {
 		name := names[i]

@@ -16,7 +16,11 @@ import (
 // observed a 10 h → 2.5 h reduction).
 //
 // Columns: config, nodes, runtime_s, compute_s, sync_s, sync_share,
-// throttled_compute_ratio, speedup_vs_throttled.
+// throttled_compute_ratio, speedup_vs_throttled, probe_drift_max.
+// probe_drift_max is the worst relative change in any pool node's probe
+// kernel time between the pre-run and post-run health checks (§IV-A runs the
+// probe on both sides of the job; drift means the node's condition changed
+// mid-run and the pre-run pruning decision may be stale).
 func Fig2(opts Options) *telemetry.Table {
 	out := telemetry.NewTable(
 		telemetry.StrCol("config"), telemetry.IntCol("nodes"),
@@ -24,6 +28,7 @@ func Fig2(opts Options) *telemetry.Table {
 		telemetry.FloatCol("sync_s"), telemetry.FloatCol("sync_share"),
 		telemetry.FloatCol("throttled_compute_ratio"),
 		telemetry.FloatCol("speedup_vs_throttled"),
+		telemetry.FloatCol("probe_drift_max"),
 	)
 	// An overprovisioned pool: we need `want` nodes; two pool nodes are
 	// secretly throttling.
@@ -64,7 +69,8 @@ func Fig2(opts Options) *telemetry.Table {
 	poolNet := simnet.Tuned(pool, 16, opts.Seed)
 	poolNet.ThrottledNodes = throttled
 	checker := health.NewChecker(1.5)
-	healthy, err := checker.SelectHealthy(health.ProbeNodes(poolNet), want)
+	preProbes := health.ProbeNodes(poolNet)
+	healthy, err := checker.SelectHealthy(preProbes, want)
 	if err != nil {
 		panic(err)
 	}
@@ -76,10 +82,15 @@ func Fig2(opts Options) *telemetry.Table {
 	cfgPruned.Net = prunedNet
 
 	results := runCampaign(opts, "fig2", []harness.Spec[*driver.Result]{
-		sedovSpec("throttled", cfgNaive),
-		sedovSpec("health-pruned", cfgPruned),
+		opts.sedovSpec("throttled", cfgNaive),
+		opts.sedovSpec("health-pruned", cfgPruned),
 	})
 	resNaive, resPruned := results[0], results[1]
+
+	// Post-run probe of the same pool (§IV-A probes on both sides of the
+	// job): a node whose kernel time drifted from its pre-run measurement
+	// changed condition mid-run.
+	drift := maxProbeDrift(preProbes, health.ProbeNodes(poolNet))
 
 	// Per-node compute ratio from the step table (the Fig 2 signature:
 	// inflated compute in clusters of 16 ranks).
@@ -87,14 +98,38 @@ func Fig2(opts Options) *telemetry.Table {
 
 	out.Append("throttled", want, resNaive.Makespan,
 		resNaive.Phases.Compute, resNaive.Phases.Sync,
-		resNaive.Phases.Sync/resNaive.Phases.Total(), ratio, 1.0)
+		resNaive.Phases.Sync/resNaive.Phases.Total(), ratio, 1.0, drift)
 
 	out.Append("health-pruned", want, resPruned.Makespan,
 		resPruned.Phases.Compute, resPruned.Phases.Sync,
 		resPruned.Phases.Sync/resPruned.Phases.Total(),
 		throttledComputeRatio(resPruned.Steps, prunedNet.ThrottledNodes),
-		resNaive.Makespan/resPruned.Makespan)
+		resNaive.Makespan/resPruned.Makespan, drift)
 	return out
+}
+
+// maxProbeDrift returns the worst |post-pre|/pre kernel-time change across
+// nodes probed on both sides of a run (0 for stable hardware).
+func maxProbeDrift(pre, post []health.ProbeResult) float64 {
+	byNode := make(map[int]float64, len(pre))
+	for _, p := range pre {
+		byNode[p.Node] = p.KernelTime
+	}
+	worst := 0.0
+	for _, p := range post {
+		before, ok := byNode[p.Node]
+		if !ok || before <= 0 {
+			continue
+		}
+		d := (p.KernelTime - before) / before
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
 }
 
 // throttledComputeRatio returns mean per-rank compute on throttled nodes

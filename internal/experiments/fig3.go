@@ -47,7 +47,7 @@ func Fig3(opts Options) *telemetry.Table {
 		}
 		cfg.Net = net
 		cfg.SendsFirst = s.sendsFirst
-		specs = append(specs, sedovSpec(s.name, cfg))
+		specs = append(specs, opts.sedovSpec(s.name, cfg))
 	}
 	for i, res := range runCampaign(opts, "fig3", specs) {
 		corr, cv := commCorrelation(res)

@@ -68,7 +68,7 @@ func Fig4(opts Options) *telemetry.Table {
 		cfg.SendsFirst = name == "sedov-window-sends-first"
 		cfg.TraceStep = 6
 		cfg.CollectSteps = false
-		specs = append(specs, sedovSpec(name, cfg))
+		specs = append(specs, opts.sedovSpec(name, cfg))
 	}
 	for i, res := range runCampaign(opts, "fig4-sedov", specs) {
 		cpRes, ok := critpath.CheckTwoRankPrinciple(res.Trace)

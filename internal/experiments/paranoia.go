@@ -57,7 +57,7 @@ func differentialTable(opts Options) *telemetry.Table {
 		for side, pol := range []placement.Policy{p.A, p.B} {
 			cfg := opts.sedovConfig(sc, pol, steps, opts.Seed)
 			cfg.Paranoid = true // the audit campaign always runs paranoid
-			specs = append(specs, sedovSpec(fmt.Sprintf("%s/%d", p.ID, side), cfg))
+			specs = append(specs, opts.sedovSpec(fmt.Sprintf("%s/%d", p.ID, side), cfg))
 		}
 	}
 	results := runCampaign(opts, "differential", specs)

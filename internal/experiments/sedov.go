@@ -27,7 +27,7 @@ func TableI(opts Options) *telemetry.Table {
 	for _, sc := range scales {
 		cfg := opts.sedovConfig(sc, placement.Baseline{}, steps, opts.Seed)
 		cfg.CollectSteps = false // Table I only needs mesh statistics
-		specs = append(specs, sedovSpec(fmt.Sprintf("%dranks", sc.Ranks), cfg))
+		specs = append(specs, opts.sedovSpec(fmt.Sprintf("%dranks", sc.Ranks), cfg))
 	}
 	for i, res := range runCampaign(opts, "table1", specs) {
 		out.Append(scales[i].Ranks, scales[i].MeshDesc, steps, res.LBSteps,
@@ -77,7 +77,7 @@ func Fig6(opts Options) (a, b, c *telemetry.Table) {
 	for _, sc := range opts.scales() {
 		for _, pol := range placement.StandardSuite(chunkFor(sc.Ranks)) {
 			cells = append(cells, cell{sc, pol})
-			specs = append(specs, sedovSpec(
+			specs = append(specs, opts.sedovSpec(
 				fmt.Sprintf("%dranks-%s", sc.Ranks, pol.Name()),
 				opts.sedovConfig(sc, pol, steps, opts.Seed)))
 		}
@@ -163,7 +163,7 @@ func Fig6Cooling(opts Options) *telemetry.Table {
 				cfg.Problem = coolingProblem(sc, opts.Seed)
 			}
 			cells = append(cells, cell{problem, pol})
-			specs = append(specs, sedovSpec(problem+"-"+pol.Name(), cfg))
+			specs = append(specs, opts.sedovSpec(problem+"-"+pol.Name(), cfg))
 		}
 	}
 	var baseTotal float64

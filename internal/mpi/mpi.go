@@ -18,6 +18,7 @@ import (
 	"amrtools/internal/check"
 	"amrtools/internal/sim"
 	"amrtools/internal/simnet"
+	"amrtools/internal/trace"
 	"amrtools/internal/xrand"
 )
 
@@ -72,6 +73,11 @@ type World struct {
 	// MPI_Wait spikes of Fig 1b.
 	OnWait func(rank int, kind WaitKind, dur float64)
 
+	// tracer, when non-nil, receives a span for every communicator
+	// operation — the flight recorder of internal/trace. The nil check at
+	// each emission site is the entire disabled-path cost.
+	tracer *trace.Recorder
+
 	// paranoid enables the invariant audits of internal/check: collective
 	// round membership inline, message/request hygiene at AuditTeardown.
 	// Defaults to check.Forced() (on under test helpers).
@@ -119,6 +125,9 @@ func (w *World) Engine() *sim.Engine { return w.eng }
 // Meter returns rank's accumulator.
 func (w *World) Meter(rank int) *Meter { return &w.meters[rank] }
 
+// SetTracer attaches a flight recorder (nil detaches it).
+func (w *World) SetTracer(tr *trace.Recorder) { w.tracer = tr }
+
 // Spawn starts rank's program as a simulated process. body receives the
 // rank-bound communicator.
 func (w *World) Spawn(rank int, body func(c *Comm)) {
@@ -135,6 +144,11 @@ type Request struct {
 	fut   *sim.Future
 	kind  WaitKind
 	bytes int
+	// peer and tag are int32 to keep the Request in the 32-byte allocation
+	// size class (one Request per message; the extra class matters at the
+	// quick suite's message volumes).
+	peer int32
+	tag  int32
 }
 
 // Done reports whether the request has completed.
@@ -170,8 +184,13 @@ func (c *Comm) Isend(dst, tag, bytes int) *Request {
 	m.MsgsSent++
 	m.BytesSent += int64(bytes)
 	plan := w.net.PlanSend(c.rank, dst, bytes)
-	req := &Request{fut: sim.NewFuture(), kind: WaitSend, bytes: bytes}
+	req := &Request{fut: sim.NewFuture(), kind: WaitSend, bytes: bytes, peer: int32(dst), tag: int32(tag)}
 	src := c.rank
+	if tr := w.tracer; tr != nil {
+		now := float64(c.p.Now())
+		tr.Emit(trace.Span{Rank: int32(src), Kind: trace.Isend, T0: now, T1: now,
+			Peer: int32(dst), Bytes: int64(bytes), Tag: int32(tag)})
+	}
 	if w.paranoid {
 		w.sends = append(w.sends, sendRecord{req: req, src: src, dst: dst, tag: tag})
 	}
@@ -201,7 +220,12 @@ func (w *World) deliver(dst int, key msgKey, bytes int) {
 func (c *Comm) Irecv(src, tag int) *Request {
 	w := c.w
 	key := msgKey{src: src, tag: tag}
-	req := &Request{fut: sim.NewFuture(), kind: WaitRecv}
+	req := &Request{fut: sim.NewFuture(), kind: WaitRecv, peer: int32(src), tag: int32(tag)}
+	if tr := w.tracer; tr != nil {
+		now := float64(c.p.Now())
+		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Irecv, T0: now, T1: now,
+			Peer: int32(src), Tag: int32(tag)})
+	}
 	if q := w.mailbox[c.rank][key]; len(q) > 0 {
 		req.bytes = q[0].bytes
 		w.mailbox[c.rank][key] = q[1:]
@@ -225,6 +249,15 @@ func (c *Comm) Wait(req *Request) {
 	dur := c.p.Now() - start
 	m.CommWait += dur
 	m.Waits++
+	if tr := c.w.tracer; tr != nil {
+		kind := trace.SendWait
+		if req.kind == WaitRecv {
+			kind = trace.RecvWait
+		}
+		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: kind,
+			T0: float64(start), T1: float64(c.p.Now()),
+			Peer: req.peer, Bytes: int64(req.bytes), Tag: req.tag})
+	}
 	if c.w.OnWait != nil {
 		c.w.OnWait(c.rank, req.kind, dur)
 	}
@@ -290,6 +323,10 @@ func (c *Comm) Barrier() {
 	}
 	c.p.Await(b.fut)
 	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
+	if tr := w.tracer; tr != nil {
+		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Barrier,
+			T0: float64(arrivedAt), T1: float64(c.p.Now()), Peer: -1, Tag: -1})
+	}
 }
 
 // AllreduceSum performs a blocking sum-allreduce over all ranks: every rank
@@ -310,6 +347,10 @@ func (c *Comm) AllreduceSum(v float64) float64 {
 	}
 	c.p.Await(b.fut)
 	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
+	if tr := w.tracer; tr != nil {
+		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Allreduce,
+			T0: float64(arrivedAt), T1: float64(c.p.Now()), Peer: -1, Tag: -1})
+	}
 	return b.sum
 }
 
@@ -318,9 +359,23 @@ func (c *Comm) AllreduceSum(v float64) float64 {
 // returns the actual duration, which is also the measured per-block compute
 // time the telemetry feeds back into placement.
 func (c *Comm) Compute(cost float64) float64 {
-	dur := cost * c.w.net.ComputeFactor(c.rank) * c.jitter()
+	factor := c.w.net.ComputeFactor(c.rank)
+	dur := cost * factor * c.jitter()
+	start := c.p.Now()
 	c.p.Sleep(dur)
 	c.w.meters[c.rank].Compute += dur
+	if tr := c.w.tracer; tr != nil {
+		t0, t1 := float64(start), float64(c.p.Now())
+		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Compute,
+			T0: t0, T1: t1, Peer: -1, Tag: -1})
+		if factor > 1 {
+			// The simulated hardware's thermal sensor: the kernel ran under a
+			// node slowdown. Diagnose detectors must not read this span — it
+			// is ground truth, recorded for visualization only.
+			tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Throttle,
+				T0: t0, T1: t1, Peer: -1, Tag: -1})
+		}
+	}
 	return dur
 }
 
@@ -343,8 +398,13 @@ func (c *Comm) ChargeRebalance(d float64) {
 	if d < 0 {
 		panic("mpi: negative rebalance charge")
 	}
+	start := c.p.Now()
 	c.p.Sleep(d)
 	c.w.meters[c.rank].Rebalance += d
+	if tr := c.w.tracer; tr != nil {
+		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Rebalance,
+			T0: float64(start), T1: float64(c.p.Now()), Peer: -1, Tag: -1})
+	}
 }
 
 // IntraRank records a co-located block-pair exchange (memcpy, no MPI

@@ -18,6 +18,7 @@ package simnet
 import (
 	"amrtools/internal/check"
 	"amrtools/internal/sim"
+	"amrtools/internal/trace"
 	"amrtools/internal/xrand"
 )
 
@@ -127,6 +128,11 @@ type Network struct {
 	shmInUse  []int     // per-node in-flight local messages
 	Census    Census
 
+	// tracer, when non-nil, receives a span for every fabric pathology
+	// event (shm queue-full stall, NIC egress serialization, missing-ACK
+	// recovery stall) — the flight recorder of internal/trace.
+	tracer *trace.Recorder
+
 	// paranoid enables the invariant audits of internal/check: shm queue
 	// accounting and NIC-clock monotonicity inline, full queue release at
 	// AuditDrained. Defaults to check.Forced() (on under test helpers).
@@ -154,6 +160,9 @@ func (n *Network) SetParanoid(on bool) { n.paranoid = check.Enabled(on) }
 
 // Paranoid reports whether the network's invariant audits are enabled.
 func (n *Network) Paranoid() bool { return n.paranoid }
+
+// SetTracer attaches a flight recorder (nil detaches it).
+func (n *Network) SetTracer(tr *trace.Recorder) { n.tracer = tr }
 
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
@@ -206,7 +215,14 @@ func (n *Network) planLocal(src, dst, bytes int) SendPlan {
 		// Undersized queue: the shared-memory path degrades into a
 		// contended retry loop with a heavy tail (§IV-B queue size tuning).
 		n.Census.ShmContentions++
-		delay += float64(excess) * n.cfg.ShmContentionPenalty * (1 + n.rng.ExpFloat64())
+		stall := float64(excess) * n.cfg.ShmContentionPenalty * (1 + n.rng.ExpFloat64())
+		delay += stall
+		if tr := n.tracer; tr != nil {
+			now := n.eng.Now()
+			tr.Emit(trace.Span{Rank: int32(src), Kind: trace.ShmStall,
+				T0: now, T1: now + stall,
+				Peer: int32(dst), Bytes: int64(bytes), Tag: -1})
+		}
 	}
 	return SendPlan{DeliverAfter: delay, SenderDoneAfter: n.cfg.SendOverhead, Local: true}
 }
@@ -221,6 +237,13 @@ func (n *Network) planRemote(src, dst, bytes int) SendPlan {
 	start := now
 	if n.nicFreeAt[node] > start {
 		start = n.nicFreeAt[node]
+		if tr := n.tracer; tr != nil {
+			// Egress queue wait: the message sat behind co-located ranks'
+			// traffic at the node's shared NIC.
+			tr.Emit(trace.Span{Rank: int32(src), Kind: trace.NicSerial,
+				T0: now, T1: start,
+				Peer: int32(dst), Bytes: int64(bytes), Tag: -1})
+		}
 	}
 	depart := start + n.cfg.RemoteMsgOverhead + float64(bytes)/n.cfg.RemoteBandwidth
 	if n.paranoid {
@@ -244,6 +267,11 @@ func (n *Network) planRemote(src, dst, bytes int) SendPlan {
 			// though the receiver already has the data.
 			n.Census.AckStalls++
 			senderDone = n.cfg.AckRecoveryDelay * (0.5 + n.rng.Float64())
+			if tr := n.tracer; tr != nil {
+				tr.Emit(trace.Span{Rank: int32(src), Kind: trace.AckStall,
+					T0: now, T1: now + senderDone,
+					Peer: int32(dst), Bytes: int64(bytes), Tag: -1})
+			}
 		}
 	}
 	return SendPlan{DeliverAfter: deliver, SenderDoneAfter: senderDone, Local: false}

@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAggApplyBasics(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct {
+		f    AggFunc
+		want float64
+	}{
+		{Count, 4},
+		{Sum, 10},
+		{Mean, 2.5},
+		{Min, 1},
+		{Max, 4},
+		{P50, 2.5},
+		{Var, 1.25},
+		{Std, math.Sqrt(1.25)},
+	}
+	for _, c := range cases {
+		if got := c.f.Apply(xs); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("%s(%v) = %g, want %g", c.f, xs, got, c.want)
+		}
+	}
+}
+
+func TestAggApplyEmpty(t *testing.T) {
+	// Every aggregate must be total on the empty slice (GroupBy feeds it
+	// whatever the filter left), even where the underlying stats primitives
+	// panic.
+	for f := Count; f <= Std; f++ {
+		if got := f.Apply(nil); got != 0 {
+			t.Fatalf("%s(empty) = %g, want 0", f, got)
+		}
+	}
+}
+
+func TestAggApplySingleRow(t *testing.T) {
+	xs := []float64{7}
+	want := map[AggFunc]float64{
+		Count: 1, Sum: 7, Mean: 7, Min: 7, Max: 7,
+		P50: 7, P99: 7, Var: 0, Std: 0,
+	}
+	for f, w := range want {
+		if got := f.Apply(xs); got != w {
+			t.Fatalf("%s([7]) = %g, want %g", f, got, w)
+		}
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	// Ties: the median of a tie-heavy slice is the tied value.
+	if got := P50.Apply([]float64{1, 2, 2, 2, 3}); got != 2 {
+		t.Fatalf("P50 with ties = %g, want 2", got)
+	}
+	// All-equal input: every percentile is that value.
+	same := []float64{5, 5, 5, 5}
+	if P50.Apply(same) != 5 || P99.Apply(same) != 5 {
+		t.Fatal("percentiles of constant slice must be the constant")
+	}
+	// Even-length median interpolates.
+	if got := P50.Apply([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("even-length P50 = %g, want 2.5", got)
+	}
+	// P99 over 1..100 interpolates between the closest ranks:
+	// rank = 0.99*99 = 98.01 -> 99*0.99 + 100*0.01.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	if got, want := P99.Apply(xs), 99.01; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("P99(1..100) = %g, want %g", got, want)
+	}
+	// Two elements: P99 sits just under the max.
+	if got := P99.Apply([]float64{0, 1}); got != 0.99 {
+		t.Fatalf("P99([0,1]) = %g, want 0.99", got)
+	}
+}
+
+func TestAggByNameAliases(t *testing.T) {
+	cases := map[string]AggFunc{
+		"count": Count, "sum": Sum, "mean": Mean, "avg": Mean,
+		"min": Min, "max": Max, "p50": P50, "median": P50, "p99": P99,
+		"var": Var, "std": Std, "stddev": Std,
+		"MEAN": Mean, "P99": P99, // case-insensitive
+	}
+	for name, want := range cases {
+		got, ok := AggByName(name)
+		if !ok || got != want {
+			t.Fatalf("AggByName(%q) = %v/%v, want %v", name, got, ok, want)
+		}
+	}
+	if _, ok := AggByName("harmonic"); ok {
+		t.Fatal("unknown aggregate resolved")
+	}
+}
+
+func TestAggStringRoundTrip(t *testing.T) {
+	for f := Count; f <= Std; f++ {
+		back, ok := AggByName(f.String())
+		if !ok || back != f {
+			t.Fatalf("AggByName(%s.String()) = %v/%v", f, back, ok)
+		}
+	}
+}
+
+func TestAggSpecOutName(t *testing.T) {
+	if got := (AggSpec{Func: Mean, Col: "comm"}).outName(); got != "mean_comm" {
+		t.Fatalf("default outName = %q, want mean_comm", got)
+	}
+	if got := (AggSpec{Func: Count}).outName(); got != "count" {
+		t.Fatalf("count outName = %q, want count", got)
+	}
+	if got := (AggSpec{Func: Max, Col: "x", As: "peak"}).outName(); got != "peak" {
+		t.Fatalf("explicit outName = %q, want peak", got)
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	tab := NewTable(IntCol("node"), FloatCol("dur"))
+	for _, row := range [][2]float64{
+		{0, 1}, {0, 3}, {1, 10}, {0, 2}, {1, 30},
+	} {
+		tab.Append(int64(row[0]), row[1])
+	}
+	out := tab.GroupBy([]string{"node"}, []AggSpec{
+		{Func: Count, As: "n"},
+		{Func: Sum, Col: "dur"},
+		{Func: P50, Col: "dur"},
+		{Func: Max, Col: "dur"},
+	})
+	if out.NumRows() != 2 {
+		t.Fatalf("groups = %d, want 2", out.NumRows())
+	}
+	// Groups come back sorted by key.
+	if nodes := out.Ints("node"); nodes[0] != 0 || nodes[1] != 1 {
+		t.Fatalf("group order = %v", nodes)
+	}
+	if ns := out.Floats("n"); ns[0] != 3 || ns[1] != 2 {
+		t.Fatalf("counts = %v", ns)
+	}
+	if sums := out.Floats("sum_dur"); sums[0] != 6 || sums[1] != 40 {
+		t.Fatalf("sums = %v", sums)
+	}
+	if meds := out.Floats("p50_dur"); meds[0] != 2 || meds[1] != 20 {
+		t.Fatalf("medians = %v", meds)
+	}
+	if maxs := out.Floats("max_dur"); maxs[0] != 3 || maxs[1] != 30 {
+		t.Fatalf("maxes = %v", maxs)
+	}
+}
+
+func TestGroupByEmptyTable(t *testing.T) {
+	tab := NewTable(IntCol("node"), FloatCol("dur"))
+	out := tab.GroupBy([]string{"node"}, []AggSpec{{Func: P99, Col: "dur"}})
+	if out.NumRows() != 0 {
+		t.Fatalf("empty input produced %d groups", out.NumRows())
+	}
+	if !out.HasCol("p99_dur") {
+		t.Fatal("output schema missing aggregate column")
+	}
+}

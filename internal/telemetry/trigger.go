@@ -35,7 +35,12 @@ func (w *Watcher) OnRow(name string, once bool, when func(t *Table, row int) boo
 // Append adds a row to the table and evaluates every armed trigger on it.
 func (w *Watcher) Append(vals ...interface{}) {
 	w.t.Append(vals...)
-	row := w.t.NumRows() - 1
+	w.Observe(w.t.NumRows() - 1)
+}
+
+// Observe evaluates every armed trigger against an existing row — for rows
+// appended to the table outside the watcher (e.g. by the driver's step loop).
+func (w *Watcher) Observe(row int) {
 	for _, tr := range w.triggers {
 		if tr.once && tr.fired > 0 {
 			continue

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"amrtools/internal/telemetry"
+)
+
+// chromeEvent is one complete event ("ph":"X") or metadata event ("ph":"M")
+// in the Chrome trace-event format — the same Catapult JSON that
+// critpath.WriteChromeTrace emits for a single synchronization window, here
+// covering the whole run: one timeline row per rank, one slice per span.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	Ts   float64                `json:"ts"`            // microseconds
+	Dur  float64                `json:"dur,omitempty"` // microseconds
+	Pid  int                    `json:"pid"`
+	Tid  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WritePerfetto serializes a span table (trace.Schema layout, from a
+// Recorder or a span colfile) as Chrome trace-event JSON loadable in
+// Perfetto or chrome://tracing: pid 0, tid = rank (one timeline row per
+// rank), a thread_name metadata event per rank, and one duration slice per
+// span carrying peer/bytes/tag/step/epoch as args. Output is deterministic
+// for a given input table.
+func WritePerfetto(w io.Writer, t *telemetry.Table) error {
+	for _, name := range []string{"rank", "kind", "t0", "t1", "peer", "bytes", "tag", "step", "epoch"} {
+		if !t.HasCol(name) {
+			return fmt.Errorf("trace: span table missing column %q", name)
+		}
+	}
+	ranks := t.Ints("rank")
+	kinds := t.Strings("kind")
+	t0s, t1s := t.Floats("t0"), t.Floats("t1")
+	peers, bytes := t.Ints("peer"), t.Ints("bytes")
+	tags, steps, epochs := t.Ints("tag"), t.Ints("step"), t.Ints("epoch")
+
+	events := make([]chromeEvent, 0, t.NumRows())
+	named := map[int64]bool{}
+	for r := 0; r < t.NumRows(); r++ {
+		if !named[ranks[r]] {
+			named[ranks[r]] = true
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: int(ranks[r]),
+				Args: map[string]interface{}{"name": fmt.Sprintf("rank %d", ranks[r])},
+			})
+		}
+		dur := (t1s[r] - t0s[r]) * 1e6
+		if dur <= 0 {
+			dur = 0.01 // zero-width posts still need visible slices
+		}
+		args := map[string]interface{}{"step": steps[r], "epoch": epochs[r]}
+		if peers[r] >= 0 {
+			args["peer"] = peers[r]
+		}
+		if bytes[r] > 0 {
+			args["bytes"] = bytes[r]
+		}
+		if tags[r] >= 0 {
+			args["tag"] = tags[r]
+		}
+		events = append(events, chromeEvent{
+			Name: kinds[r], Cat: kinds[r], Ph: "X",
+			Ts: t0s[r] * 1e6, Dur: dur,
+			Pid: 0, Tid: int(ranks[r]), Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{"traceEvents": events})
+}

@@ -1,0 +1,322 @@
+// Package trace is the whole-run flight recorder: an always-compiled,
+// config-gated span collector threaded through the simulation stack (mpi,
+// simnet, driver). Every MPI operation (compute kernels, Isend/Irecv posts,
+// blocking waits, barriers, allreduces, rebalance charges) and every fabric
+// pathology event (shm queue-full stalls, NIC egress serialization, ACK
+// recovery stalls) emits a span {rank, kind, t0, t1, peer, bytes, tag, step,
+// epoch} into a per-rank ring buffer with a hard memory cap.
+//
+// The paper's §IV diagnosis loop ran on exactly this data: per-rank,
+// per-event timelines, not aggregate counters — MPI_Wait spikes (Fig 1b),
+// undersized shm queues, and thermal throttling were all found by tracing
+// ranks over time. Aggregated meters (mpi.Meter) answer "how much"; the
+// flight recorder answers "when, on whom, and why", which is what the
+// detectors of trace/diagnose and the Perfetto export consume.
+//
+// Discipline mirrors internal/check: the recorder is always compiled, a nil
+// *Recorder means tracing is off, and every emission site guards with a
+// single nil check so the disabled path costs nothing measurable. Memory is
+// bounded by construction: each rank's buffer is a fixed-capacity ring that
+// evicts its oldest span, so an arbitrarily long run retains at most
+// NumRanks x PerRankCap spans (evictions are counted, never silent).
+package trace
+
+import (
+	"amrtools/internal/telemetry"
+)
+
+// Kind classifies a span.
+type Kind uint8
+
+const (
+	// Compute is a compute-kernel execution on a rank.
+	Compute Kind = iota
+	// Throttle marks a compute kernel that executed under a node compute
+	// slowdown factor > 1 (the simulated hardware's thermal sensor; it
+	// covers the same interval as the corresponding Compute span).
+	Throttle
+	// Isend is a non-blocking send post (zero-width).
+	Isend
+	// Irecv is a non-blocking receive post (zero-width).
+	Irecv
+	// SendWait is a blocking MPI_Wait on a send request.
+	SendWait
+	// RecvWait is a blocking MPI_Wait on a receive request.
+	RecvWait
+	// Barrier is a barrier interval (arrival to release).
+	Barrier
+	// Allreduce is an allreduce interval (arrival to release).
+	Allreduce
+	// Rebalance is a redistribution charge (placement + migration time).
+	Rebalance
+	// ShmStall is the extra delivery delay a local message suffered because
+	// the node's shared-memory queue was full (§IV-B queue size tuning).
+	ShmStall
+	// NicSerial is time a remote message waited for the node's NIC egress
+	// behind messages from co-located ranks.
+	NicSerial
+	// AckStall is a sender blocked in the fabric's missing-ACK recovery
+	// path (§IV-B MPI_Wait spikes; only without the drain-queue mitigation).
+	AckStall
+	// ProbePre is a pre-run health-probe kernel time for one node
+	// (rank = the node's first rank, duration = worst-rank kernel time).
+	ProbePre
+	// ProbePost is the post-run health probe of the same node.
+	ProbePost
+
+	numKinds
+)
+
+// String returns the stable kind name used in the span table's kind column.
+func (k Kind) String() string {
+	switch k {
+	case Compute:
+		return "compute"
+	case Throttle:
+		return "throttle"
+	case Isend:
+		return "isend"
+	case Irecv:
+		return "irecv"
+	case SendWait:
+		return "send_wait"
+	case RecvWait:
+		return "recv_wait"
+	case Barrier:
+		return "barrier"
+	case Allreduce:
+		return "allreduce"
+	case Rebalance:
+		return "rebalance"
+	case ShmStall:
+		return "shm_stall"
+	case NicSerial:
+		return "nic_serial"
+	case AckStall:
+		return "ack_stall"
+	case ProbePre:
+		return "probe_pre"
+	case ProbePost:
+		return "probe_post"
+	}
+	return "unknown"
+}
+
+// Span is one recorded interval on a rank's timeline. Peer and Tag are -1
+// when not applicable; Step and Epoch are -1 for spans outside the timestep
+// loop (health probes).
+type Span struct {
+	Rank  int32
+	Kind  Kind
+	T0    float64
+	T1    float64
+	Peer  int32
+	Bytes int64
+	Tag   int32
+	Step  int32
+	Epoch int32
+}
+
+// Config parameterizes a Recorder.
+type Config struct {
+	// PerRankCap is the maximum number of spans retained per rank; when a
+	// rank's ring fills, its oldest span is evicted (and counted in
+	// Dropped). 0 uses DefaultPerRankCap.
+	PerRankCap int
+	// Disarmed starts the recorder disarmed: spans offered before Arm() is
+	// called are counted in Suppressed but not retained. This is the
+	// programmable-trigger workflow of §IV-C — cheap step telemetry watches
+	// for an anomaly and arms heavy span collection only once it appears
+	// (see ArmOn). Probe spans (EmitRaw) bypass arming and ring eviction:
+	// there are at most two per node per run, so they cannot grow the
+	// buffers.
+	Disarmed bool
+	// ArmOn, together with Disarmed, is the arming condition: the driver
+	// evaluates it (through a telemetry.Watcher trigger) against every
+	// per-step telemetry row and arms the recorder on the first match.
+	// Requires the driver's per-step telemetry (CollectSteps). See
+	// WaitSpikeCondition for the Fig 1b anomaly condition.
+	ArmOn func(t *telemetry.Table, row int) bool
+}
+
+// DefaultPerRankCap bounds per-rank span memory when Config.PerRankCap is 0:
+// 4096 spans x ~48 bytes ~= 200 KiB/rank.
+const DefaultPerRankCap = 4096
+
+// ring is a fixed-capacity circular span buffer.
+type ring struct {
+	spans []Span
+	head  int // index of the oldest retained span
+	n     int // retained count
+}
+
+func (rg *ring) push(s Span, dropped *int64) {
+	if rg.n < len(rg.spans) {
+		rg.spans[(rg.head+rg.n)%len(rg.spans)] = s
+		rg.n++
+		return
+	}
+	rg.spans[rg.head] = s
+	rg.head = (rg.head + 1) % len(rg.spans)
+	*dropped++
+}
+
+// Recorder is the per-run flight recorder. It is bound to one simulation
+// (engine serialization makes unsynchronized emission safe) and is not safe
+// for concurrent use across simulations.
+type Recorder struct {
+	rpn        int // ranks per node, for the table's node column
+	armed      bool
+	rings      []ring
+	raw        []Span  // out-of-loop spans (EmitRaw); never evicted
+	step       []int32 // current timestep per rank (set by the driver)
+	epoch      []int32 // current epoch per rank
+	dropped    int64
+	suppressed int64
+}
+
+// NewRecorder creates a recorder for nranks ranks on nodes of ranksPerNode.
+func NewRecorder(nranks, ranksPerNode int, cfg Config) *Recorder {
+	if nranks <= 0 || ranksPerNode <= 0 {
+		panic("trace: non-positive recorder dimensions")
+	}
+	cap := cfg.PerRankCap
+	if cap <= 0 {
+		cap = DefaultPerRankCap
+	}
+	r := &Recorder{
+		rpn:   ranksPerNode,
+		armed: !cfg.Disarmed,
+		rings: make([]ring, nranks),
+		step:  make([]int32, nranks),
+		epoch: make([]int32, nranks),
+	}
+	for i := range r.rings {
+		r.rings[i].spans = make([]Span, cap)
+	}
+	for i := range r.step {
+		r.step[i] = -1
+		r.epoch[i] = -1
+	}
+	return r
+}
+
+// Arm enables span retention (idempotent). See Config.Disarmed.
+func (r *Recorder) Arm() { r.armed = true }
+
+// Armed reports whether spans are currently retained.
+func (r *Recorder) Armed() bool { return r.armed }
+
+// SetPhase records rank's current timestep and epoch; subsequent Emit calls
+// for that rank are stamped with them. The driver calls this at the top of
+// every step.
+func (r *Recorder) SetPhase(rank int, step, epoch int32) {
+	r.step[rank] = step
+	r.epoch[rank] = epoch
+}
+
+// Emit records a span, stamping it with the rank's current step and epoch.
+// Callers hold a possibly-nil *Recorder and must guard with a nil check —
+// that single branch is the entire disabled-path cost.
+func (r *Recorder) Emit(s Span) {
+	if !r.armed {
+		r.suppressed++
+		return
+	}
+	s.Step = r.step[s.Rank]
+	s.Epoch = r.epoch[s.Rank]
+	r.rings[s.Rank].push(s, &r.dropped)
+}
+
+// EmitRaw records a span without phase stamping, without the arming gate,
+// and outside the rings — for out-of-loop spans (health probes) whose count
+// is bounded by construction (at most two per node per run). Keeping them
+// out of the rings matters: probe_pre spans are the oldest in the run, so a
+// saturated ring would evict exactly the baseline the post-run drift
+// comparison needs.
+func (r *Recorder) EmitRaw(s Span) {
+	r.raw = append(r.raw, s)
+}
+
+// Len returns the total number of retained spans (including EmitRaw spans).
+func (r *Recorder) Len() int {
+	n := len(r.raw)
+	for i := range r.rings {
+		n += r.rings[i].n
+	}
+	return n
+}
+
+// Dropped returns the number of spans evicted by full rings.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Suppressed returns the number of spans offered while disarmed.
+func (r *Recorder) Suppressed() int64 { return r.suppressed }
+
+// Schema is the span table schema (see Table).
+func Schema() []telemetry.ColSpec {
+	return []telemetry.ColSpec{
+		telemetry.IntCol("rank"), telemetry.IntCol("node"),
+		telemetry.StrCol("kind"),
+		telemetry.FloatCol("t0"), telemetry.FloatCol("t1"),
+		telemetry.FloatCol("dur"),
+		telemetry.IntCol("peer"), telemetry.IntCol("bytes"),
+		telemetry.IntCol("tag"), telemetry.IntCol("step"),
+		telemetry.IntCol("epoch"),
+	}
+}
+
+// Table materializes the retained spans as a columnar table: ranks in
+// ascending order, each rank's spans oldest to newest. The layout is
+// deterministic for a deterministic run, so span colfiles are bit-identical
+// across harness worker counts.
+func (r *Recorder) Table() *telemetry.Table {
+	t := telemetry.NewTable(Schema()...)
+	appendSpan := func(s Span) {
+		t.Append(
+			int64(s.Rank), int64(int(s.Rank)/r.rpn), s.Kind.String(),
+			s.T0, s.T1, s.T1-s.T0,
+			int64(s.Peer), s.Bytes, int64(s.Tag), int64(s.Step), int64(s.Epoch),
+		)
+	}
+	for rank := range r.rings {
+		// Out-of-loop spans first (probe_pre precedes every ring span and
+		// probe_post is emitted in rank order too, so per-rank emission
+		// order is preserved), then the ring oldest to newest.
+		for _, s := range r.raw {
+			if int(s.Rank) == rank {
+				appendSpan(s)
+			}
+		}
+		rg := &r.rings[rank]
+		for i := 0; i < rg.n; i++ {
+			appendSpan(rg.spans[(rg.head+i)%len(rg.spans)])
+		}
+	}
+	return t
+}
+
+// ArmOn returns a driver OnStepRecord hook that arms rec through a
+// telemetry.Watcher trigger the first time cond matches a step-table row —
+// the §IV-C programmable-trigger workflow: run with Config.Disarmed, watch
+// the cheap per-step telemetry, and start paying for span retention only
+// once the anomaly shows up.
+func ArmOn(rec *Recorder, name string, cond func(t *telemetry.Table, row int) bool) func(t *telemetry.Table, row int) {
+	var w *telemetry.Watcher
+	return func(t *telemetry.Table, row int) {
+		if w == nil {
+			w = telemetry.NewWatcher(t)
+			w.OnRow(name, true, cond, func(int) { rec.Arm() })
+		}
+		w.Observe(row)
+	}
+}
+
+// WaitSpikeCondition matches a step-table row whose per-step communication
+// wait exceeds threshold seconds — the wait-spike anomaly of Fig 1b as seen
+// from the cheap per-step telemetry.
+func WaitSpikeCondition(threshold float64) func(t *telemetry.Table, row int) bool {
+	return func(t *telemetry.Table, row int) bool {
+		return t.Floats("comm")[row] >= threshold
+	}
+}

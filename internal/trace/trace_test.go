@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"amrtools/internal/telemetry"
+)
+
+func span(rank int32, kind Kind, t0, t1 float64) Span {
+	return Span{Rank: rank, Kind: kind, T0: t0, T1: t1, Peer: -1, Tag: -1}
+}
+
+func TestRingCapBoundsMemory(t *testing.T) {
+	const cap = 16
+	r := NewRecorder(4, 2, Config{PerRankCap: cap})
+	for i := 0; i < 1000; i++ {
+		for rank := int32(0); rank < 4; rank++ {
+			r.Emit(span(rank, Compute, float64(i), float64(i)+0.5))
+		}
+	}
+	if got, want := r.Len(), 4*cap; got != want {
+		t.Fatalf("Len = %d, want %d (hard cap)", got, want)
+	}
+	if got, want := r.Dropped(), int64(4*(1000-cap)); got != want {
+		t.Fatalf("Dropped = %d, want %d", got, want)
+	}
+	// Eviction keeps the newest spans: rank 0's oldest retained span must be
+	// from iteration 1000-cap.
+	tab := r.Table()
+	if got := tab.Floats("t0")[0]; got != float64(1000-cap) {
+		t.Fatalf("oldest retained t0 = %g, want %g", got, float64(1000-cap))
+	}
+}
+
+func TestDisarmedSuppresses(t *testing.T) {
+	r := NewRecorder(2, 2, Config{PerRankCap: 8, Disarmed: true})
+	for i := 0; i < 5; i++ {
+		r.Emit(span(0, Compute, float64(i), float64(i)+1))
+	}
+	if r.Len() != 0 {
+		t.Fatalf("disarmed recorder retained %d spans", r.Len())
+	}
+	if r.Suppressed() != 5 {
+		t.Fatalf("Suppressed = %d, want 5", r.Suppressed())
+	}
+	// EmitRaw bypasses the gate (probe spans are bounded by construction).
+	r.EmitRaw(Span{Rank: 1, Kind: ProbePre, T0: 0, T1: 1e-3, Peer: -1, Tag: -1, Step: -1, Epoch: -1})
+	if r.Len() != 1 {
+		t.Fatalf("EmitRaw while disarmed retained %d spans, want 1", r.Len())
+	}
+	r.Arm()
+	if !r.Armed() {
+		t.Fatal("Arm did not arm")
+	}
+	r.Emit(span(0, Compute, 9, 10))
+	if r.Len() != 2 {
+		t.Fatalf("post-arm Len = %d, want 2", r.Len())
+	}
+}
+
+func TestPhaseStamping(t *testing.T) {
+	r := NewRecorder(2, 2, Config{PerRankCap: 8})
+	r.Emit(span(0, Compute, 0, 1)) // before any SetPhase: step/epoch -1
+	r.SetPhase(0, 3, 1)
+	r.Emit(span(0, Compute, 1, 2))
+	r.SetPhase(1, 4, 2)
+	r.Emit(span(1, Barrier, 2, 3))
+	tab := r.Table()
+	steps, epochs := tab.Ints("step"), tab.Ints("epoch")
+	if steps[0] != -1 || epochs[0] != -1 {
+		t.Fatalf("pre-phase span stamped step=%d epoch=%d, want -1/-1", steps[0], epochs[0])
+	}
+	if steps[1] != 3 || epochs[1] != 1 {
+		t.Fatalf("rank 0 span stamped step=%d epoch=%d, want 3/1", steps[1], epochs[1])
+	}
+	if steps[2] != 4 || epochs[2] != 2 {
+		t.Fatalf("rank 1 span stamped step=%d epoch=%d, want 4/2", steps[2], epochs[2])
+	}
+}
+
+func TestTableLayout(t *testing.T) {
+	r := NewRecorder(4, 2, Config{PerRankCap: 8})
+	// Emit out of rank order; Table must come back rank-ascending,
+	// oldest-first within a rank, with node = rank / ranksPerNode.
+	r.Emit(Span{Rank: 3, Kind: Isend, T0: 1, T1: 1, Peer: 0, Bytes: 64, Tag: 7})
+	r.Emit(span(1, Compute, 0, 2))
+	r.Emit(span(1, Barrier, 2, 3))
+	tab := r.Table()
+	if tab.NumRows() != 3 {
+		t.Fatalf("NumRows = %d, want 3", tab.NumRows())
+	}
+	ranks, nodes := tab.Ints("rank"), tab.Ints("node")
+	kinds := tab.Strings("kind")
+	if ranks[0] != 1 || ranks[1] != 1 || ranks[2] != 3 {
+		t.Fatalf("rank order = %v, want [1 1 3]", ranks)
+	}
+	if kinds[0] != "compute" || kinds[1] != "barrier" || kinds[2] != "isend" {
+		t.Fatalf("kind order = %v", kinds)
+	}
+	if nodes[0] != 0 || nodes[2] != 1 {
+		t.Fatalf("nodes = %v, want rank/2", nodes)
+	}
+	if durs := tab.Floats("dur"); durs[0] != 2 || durs[1] != 1 {
+		t.Fatalf("dur column = %v", durs)
+	}
+	if got := tab.Ints("bytes")[2]; got != 64 {
+		t.Fatalf("bytes = %d, want 64", got)
+	}
+}
+
+func TestKindStringsStable(t *testing.T) {
+	want := map[Kind]string{
+		Compute: "compute", Throttle: "throttle", Isend: "isend",
+		Irecv: "irecv", SendWait: "send_wait", RecvWait: "recv_wait",
+		Barrier: "barrier", Allreduce: "allreduce", Rebalance: "rebalance",
+		ShmStall: "shm_stall", NicSerial: "nic_serial", AckStall: "ack_stall",
+		ProbePre: "probe_pre", ProbePost: "probe_post",
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		if s, ok := want[k]; !ok || k.String() != s {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestArmOnTrigger(t *testing.T) {
+	rec := NewRecorder(1, 1, Config{PerRankCap: 8, Disarmed: true})
+	tab := telemetry.NewTable(telemetry.IntCol("step"), telemetry.FloatCol("comm"))
+	hook := ArmOn(rec, "wait-spike", WaitSpikeCondition(0.5))
+	for i := 0; i < 3; i++ {
+		tab.Append(i, 0.1)
+		hook(tab, tab.NumRows()-1)
+		rec.Emit(span(0, Compute, float64(i), float64(i)+1))
+	}
+	if rec.Armed() || rec.Len() != 0 {
+		t.Fatalf("armed before trigger: armed=%v len=%d", rec.Armed(), rec.Len())
+	}
+	tab.Append(3, 0.9) // the spike
+	hook(tab, tab.NumRows()-1)
+	if !rec.Armed() {
+		t.Fatal("trigger did not arm the recorder")
+	}
+	rec.Emit(span(0, Compute, 4, 5))
+	if rec.Len() != 1 {
+		t.Fatalf("post-arm Len = %d, want 1", rec.Len())
+	}
+	if rec.Suppressed() != 3 {
+		t.Fatalf("Suppressed = %d, want 3", rec.Suppressed())
+	}
+}
+
+func TestWritePerfetto(t *testing.T) {
+	r := NewRecorder(4, 2, Config{PerRankCap: 8})
+	r.SetPhase(0, 2, 0)
+	r.SetPhase(3, 2, 0)
+	r.Emit(Span{Rank: 0, Kind: Isend, T0: 1e-3, T1: 1e-3, Peer: 3, Bytes: 128, Tag: 5})
+	r.Emit(span(0, Compute, 1e-3, 3e-3))
+	r.Emit(span(3, Barrier, 2e-3, 4e-3))
+
+	var buf bytes.Buffer
+	if err := WritePerfetto(&buf, r.Table()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string                 `json:"name"`
+			Ph   string                 `json:"ph"`
+			Ts   float64                `json:"ts"`
+			Dur  float64                `json:"dur"`
+			Pid  int                    `json:"pid"`
+			Tid  int                    `json:"tid"`
+			Args map[string]interface{} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// One thread_name metadata event per rank that emitted, plus one X slice
+	// per span.
+	meta := map[int]bool{}
+	var slices int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name != "thread_name" {
+				t.Fatalf("unexpected metadata event %q", ev.Name)
+			}
+			if meta[ev.Tid] {
+				t.Fatalf("duplicate thread_name for tid %d", ev.Tid)
+			}
+			meta[ev.Tid] = true
+		case "X":
+			slices++
+			if ev.Dur <= 0 {
+				t.Fatalf("slice %q has non-positive dur %g", ev.Name, ev.Dur)
+			}
+		default:
+			t.Fatalf("unexpected ph %q", ev.Ph)
+		}
+	}
+	if !meta[0] || !meta[3] || len(meta) != 2 {
+		t.Fatalf("thread metadata ranks = %v, want {0,3}", meta)
+	}
+	if slices != 3 {
+		t.Fatalf("slices = %d, want 3", slices)
+	}
+	// The zero-width Isend must still get the visibility floor.
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "isend" {
+			if ev.Dur != 0.01 {
+				t.Fatalf("isend dur = %g, want floor 0.01", ev.Dur)
+			}
+			if ev.Args["peer"].(float64) != 3 || ev.Args["bytes"].(float64) != 128 {
+				t.Fatalf("isend args = %v", ev.Args)
+			}
+		}
+	}
+	// Determinism: a second serialization is byte-identical.
+	var buf2 bytes.Buffer
+	if err := WritePerfetto(&buf2, r.Table()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("WritePerfetto output not deterministic")
+	}
+}
+
+func TestWritePerfettoMissingColumn(t *testing.T) {
+	tab := telemetry.NewTable(telemetry.IntCol("rank"))
+	if err := WritePerfetto(&bytes.Buffer{}, tab); err == nil {
+		t.Fatal("expected error for table without span schema")
+	}
+}
