@@ -5,7 +5,7 @@ GO ?= go
 RACE_PKGS = ./internal/harness/... ./internal/experiments/... \
             ./internal/sim/... ./internal/mpi/... ./internal/placement/...
 
-.PHONY: all build vet test race bench check fmt
+.PHONY: all build vet test race bench benchcmp check fmt
 
 all: check
 
@@ -23,9 +23,15 @@ race:
 
 # One iteration of every root benchmark (each regenerates a paper table or
 # figure); benchjson tees the text output through and archives the parsed
-# results as BENCH_PR3.json for the CI artifact.
+# results as BENCH_PR4.json for the CI artifact.
 bench:
-	$(GO) test -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out BENCH_PR3.json
+	$(GO) test -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out BENCH_PR4.json
+
+# Delta table between the previous PR's archived benchmark run and the
+# current one: ns/op and allocs/op per benchmark, regressions beyond 10%
+# marked. Advisory — the target never fails the build.
+benchcmp:
+	$(GO) run ./cmd/benchjson -compare BENCH_PR3.json BENCH_PR4.json -threshold 10
 
 fmt:
 	gofmt -l . && test -z "$$(gofmt -l .)"

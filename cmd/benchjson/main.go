@@ -4,14 +4,22 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchtime=1x . | benchjson -out BENCH_PR3.json
+//	go test -bench=. -benchtime=1x . | benchjson -out BENCH_PR4.json
+//	benchjson -compare BENCH_PR3.json BENCH_PR4.json -threshold 10
 //
-// Input lines stream through to stdout unchanged (the human still sees the
-// normal bench output); every benchmark result line is additionally parsed
-// into {name, procs, iterations, metrics{ns/op, B/op, allocs/op, ...}}.
-// Custom metrics reported via b.ReportMetric appear under their own unit
-// keys. Exits non-zero if the input contains no benchmark results or ends
-// with a test failure marker.
+// In filter mode, input lines stream through to stdout unchanged (the human
+// still sees the normal bench output); every benchmark result line is
+// additionally parsed into {name, procs, iterations, metrics{ns/op, B/op,
+// allocs/op, ...}}. Custom metrics reported via b.ReportMetric appear under
+// their own unit keys. Exits non-zero if the input contains no benchmark
+// results or ends with a test failure marker.
+//
+// In -compare mode, two previously archived JSON files are diffed and a
+// per-benchmark delta table for ns/op and allocs/op is printed; deltas worse
+// than -threshold percent are marked REGRESSION. The exit code stays zero
+// either way — single-iteration CI runs on shared runners are too noisy to
+// gate on, so the table is advisory and the CI step that runs it is
+// warn-only by construction.
 package main
 
 import (
@@ -19,7 +27,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -34,7 +44,41 @@ type result struct {
 
 func main() {
 	out := flag.String("out", "", "write the parsed results as a JSON array to this file")
+	compare := flag.Bool("compare", false, "compare two archived JSON files: benchjson -compare OLD NEW")
+	threshold := flag.Float64("threshold", 10, "percent delta beyond which -compare marks a REGRESSION")
 	flag.Parse()
+
+	if *compare {
+		// flag.Parse stops at the first positional argument, so support the
+		// natural `-compare OLD NEW -threshold 10` order by re-parsing
+		// whatever follows the two file names.
+		args := flag.Args()
+		if len(args) > 2 {
+			if err := flag.CommandLine.Parse(args[2:]); err != nil {
+				os.Exit(1)
+			}
+			args = args[:2]
+		}
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: benchjson -compare OLD NEW")
+			os.Exit(1)
+		}
+		old, err := loadResults(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		cur, err := loadResults(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		n := writeCompareTable(os.Stdout, old, cur, *threshold)
+		if n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d regression(s) beyond %.0f%% (advisory — exit stays 0)\n", n, *threshold)
+		}
+		return
+	}
 
 	var results []result
 	failed := false
@@ -113,4 +157,97 @@ func parseBenchLine(line string) (result, bool) {
 		return result{}, false
 	}
 	return result{Name: name, Procs: procs, Iterations: iters, Metrics: metrics}, true
+}
+
+// loadResults reads a JSON array previously written with -out.
+func loadResults(path string) ([]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// compareUnits are the metrics the delta table covers: wall time and
+// allocation count, the two axes the performance work optimizes. Custom
+// figure metrics (improvement-%, des-events, ...) are correctness-checked
+// by tests, not diffed here.
+var compareUnits = []string{"ns/op", "allocs/op"}
+
+// writeCompareTable prints a per-benchmark delta table between two archived
+// runs and returns the number of REGRESSION rows (delta worse than
+// threshold percent on either compared unit). Benchmarks present in only
+// one file are listed as added/removed without deltas.
+func writeCompareTable(w io.Writer, old, cur []result, threshold float64) int {
+	byName := func(rs []result) map[string]result {
+		m := make(map[string]result, len(rs))
+		for _, r := range rs {
+			m[r.Name] = r
+		}
+		return m
+	}
+	om, cm := byName(old), byName(cur)
+	names := make([]string, 0, len(cm))
+	for name := range cm {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	fmt.Fprintf(w, "%-42s %14s %14s %9s %14s %14s %9s\n",
+		"benchmark", "old ns/op", "new ns/op", "Δ%", "old allocs", "new allocs", "Δ%")
+	for _, name := range names {
+		c := cm[name]
+		o, ok := om[name]
+		if !ok {
+			fmt.Fprintf(w, "%-42s %s\n", name, "(new benchmark — no baseline)")
+			continue
+		}
+		cells := make([]string, 0, 6)
+		worst := 0.0
+		for _, unit := range compareUnits {
+			ov, oOK := o.Metrics[unit]
+			cv, cOK := c.Metrics[unit]
+			cells = append(cells, fmtOptMetric(ov, oOK), fmtOptMetric(cv, cOK))
+			if oOK && cOK && ov > 0 {
+				d := (cv - ov) / ov * 100
+				cells = append(cells, fmt.Sprintf("%+.1f", d))
+				if d > worst {
+					worst = d
+				}
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		mark := ""
+		if worst > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-42s %14s %14s %9s %14s %14s %9s%s\n",
+			name, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5], mark)
+	}
+	for name := range om {
+		if _, ok := cm[name]; !ok {
+			fmt.Fprintf(w, "%-42s %s\n", name, "(removed — present only in baseline)")
+		}
+	}
+	return regressions
+}
+
+// fmtOptMetric renders a metric value compactly: integers without a
+// fraction, large values without exponent notation, absent metrics as "-"
+// (e.g. allocs/op in an archive recorded without -benchmem).
+func fmtOptMetric(v float64, ok bool) string {
+	if !ok {
+		return "-"
+	}
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 2, 64)
 }

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	r, ok := parseBenchLine("BenchmarkFig2Throttling-8   \t1\t595151650 ns/op\t1234 B/op\t56 allocs/op")
@@ -29,6 +32,66 @@ func TestParseBenchLineCustomMetric(t *testing.T) {
 	r, ok := parseBenchLine("BenchmarkY-4 1 100 ns/op 2.5 rows/s")
 	if !ok || r.Metrics["rows/s"] != 2.5 {
 		t.Fatalf("custom metric not parsed: %+v ok=%v", r, ok)
+	}
+}
+
+func TestCompareTableDeltasAndRegressions(t *testing.T) {
+	old := []result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 100}},
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 2000, "allocs/op": 50}},
+		{Name: "BenchmarkGone", Metrics: map[string]float64{"ns/op": 10}},
+	}
+	cur := []result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 500, "allocs/op": 10}},  // improved
+		{Name: "BenchmarkB", Metrics: map[string]float64{"ns/op": 2500, "allocs/op": 50}}, // +25% time
+		{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 1}},
+	}
+	var sb strings.Builder
+	n := writeCompareTable(&sb, old, cur, 10)
+	out := sb.String()
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1 (only BenchmarkB is >10%% worse)\n%s", n, out)
+	}
+	for _, want := range []string{
+		"-50.0",                                // A's ns/op improvement
+		"+25.0",                                // B's ns/op regression
+		"REGRESSION",                           // the marker on B's row
+		"(new benchmark — no baseline)",        // BenchmarkNew
+		"(removed — present only in baseline)", // BenchmarkGone
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "BenchmarkA") && strings.Contains(line, "REGRESSION") {
+			t.Errorf("improvement flagged as regression:\n%s", line)
+		}
+	}
+}
+
+func TestCompareTableWithinThresholdNotFlagged(t *testing.T) {
+	old := []result{{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1000, "allocs/op": 100}}}
+	cur := []result{{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1080, "allocs/op": 105}}}
+	var sb strings.Builder
+	if n := writeCompareTable(&sb, old, cur, 10); n != 0 {
+		t.Fatalf("+8%% flagged at a 10%% threshold:\n%s", sb.String())
+	}
+	// The same delta trips a tighter threshold.
+	if n := writeCompareTable(&sb, old, cur, 5); n != 1 {
+		t.Fatal("+8% not flagged at a 5% threshold")
+	}
+}
+
+func TestCompareTableMissingMetricShowsDash(t *testing.T) {
+	old := []result{{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 1000}}}
+	cur := []result{{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 900}}}
+	var sb strings.Builder
+	if n := writeCompareTable(&sb, old, cur, 10); n != 0 {
+		t.Fatal("missing allocs/op treated as regression")
+	}
+	if !strings.Contains(sb.String(), "-") {
+		t.Fatalf("missing metric not rendered as dash:\n%s", sb.String())
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only fig6,table1,...] [-j N] [-out f.col] [-trace dir] [-timeout d] [-paranoid]
+//	experiments [-quick] [-seed N] [-only fig6,table1,...] [-j N] [-out f.col] [-trace dir] [-timeout d] [-paranoid] [-cpuprofile f] [-memprofile f]
 //
 // Full mode reproduces the paper's scales (512–4096 simulated ranks for the
 // Sedov runs, up to 131072 ranks for scalebench) and takes several minutes;
@@ -20,6 +20,11 @@
 // collective membership, simnet queue accounting, per-epoch mesh/plan
 // consistency, teardown hygiene); a breached invariant aborts the run with
 // a structured violation instead of producing a silently wrong table.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments (combine with -only to isolate one figure; see EXPERIMENTS.md
+// for a worked example). The heap profile is taken after a final GC, so it
+// shows live retention, not transient garbage.
 package main
 
 import (
@@ -27,6 +32,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"amrtools/internal/check"
@@ -44,7 +51,45 @@ func main() {
 	traceDir := flag.String("trace", "", "record per-run span traces into this directory (one colfile per run, plus campaign.col)")
 	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none); a safety net against simulated deadlocks")
 	paranoid := flag.Bool("paranoid", false, "run every simulation with the internal/check invariant audits on")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			fmt.Fprintf(os.Stderr, "cpu profile -> %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC() // materialize final live-heap state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			fmt.Fprintf(os.Stderr, "heap profile -> %s\n", *memprofile)
+		}()
+	}
 
 	if *paranoid {
 		// Force covers the runs that don't go through driver.Config too

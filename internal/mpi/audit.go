@@ -36,18 +36,14 @@ func (w *World) AuditTeardown() {
 	check.Assertf(w.barrier == nil, "mpi", "collective-round-open",
 		"a collective round (%s) is still open at teardown with %d arrivals",
 		openOp(w.barrier), openArrivals(w.barrier))
-	for dst, box := range w.mailbox {
-		for key, q := range box {
-			check.Assertf(len(q) == 0, "mpi", "mailbox-drain",
+	for dst, m := range w.mq {
+		for key, q := range m {
+			check.Assertf(q.arrivals.n == 0, "mpi", "mailbox-drain",
 				"rank %d holds %d orphaned messages from rank %d tag %d at teardown",
-				dst, len(q), key.src, key.tag)
-		}
-	}
-	for dst, rq := range w.recvq {
-		for key, reqs := range rq {
-			check.Assertf(len(reqs) == 0, "mpi", "recvq-drain",
+				dst, q.arrivals.n, key.src, key.tag)
+			check.Assertf(q.recvs.n == 0, "mpi", "recvq-drain",
 				"rank %d still has %d unmatched Irecv(src=%d, tag=%d) at teardown",
-				dst, len(reqs), key.src, key.tag)
+				dst, q.recvs.n, key.src, key.tag)
 		}
 	}
 	for _, s := range w.sends {

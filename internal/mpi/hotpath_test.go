@@ -1,0 +1,266 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+
+	"amrtools/internal/check"
+	"amrtools/internal/sim"
+	"amrtools/internal/simnet"
+)
+
+// unforced turns the package-wide paranoid override (set by TestMain) off
+// for one test, restoring it at cleanup. Request recycling is disabled
+// under paranoid mode — the teardown audit holds request pointers — so the
+// pooling and allocation-budget tests below need the production setting.
+func unforced(t *testing.T) {
+	t.Helper()
+	check.Force(false)
+	t.Cleanup(func() { check.Force(true) })
+}
+
+// --- satellite: peer-rank validation at the call site ---
+
+func TestIsendInvalidPeerPanics(t *testing.T) {
+	for _, dst := range []int{-1, 2, 100} {
+		eng, w := newWorld(t, quietConfig(1, 2))
+		var msg string
+		w.Spawn(0, func(c *Comm) {
+			defer func() {
+				if r := recover(); r != nil {
+					msg = r.(string)
+				}
+			}()
+			c.Isend(dst, 0, 64)
+		})
+		eng.Run()
+		if msg == "" {
+			t.Fatalf("Isend to rank %d did not panic", dst)
+		}
+		if !strings.Contains(msg, "rank 0") || !strings.Contains(msg, "invalid peer") {
+			t.Fatalf("Isend panic does not name the rank and peer: %q", msg)
+		}
+	}
+}
+
+func TestIrecvInvalidPeerPanics(t *testing.T) {
+	for _, src := range []int{-3, 2} {
+		eng, w := newWorld(t, quietConfig(1, 2))
+		var msg string
+		w.Spawn(1, func(c *Comm) {
+			defer func() {
+				if r := recover(); r != nil {
+					msg = r.(string)
+				}
+			}()
+			c.Irecv(src, 0)
+		})
+		eng.Run()
+		if msg == "" {
+			t.Fatalf("Irecv from rank %d did not panic", src)
+		}
+		if !strings.Contains(msg, "rank 1") || !strings.Contains(msg, "invalid peer") {
+			t.Fatalf("Irecv panic does not name the rank and peer: %q", msg)
+		}
+	}
+}
+
+// --- request pooling semantics ---
+
+// TestRequestRecycledAfterWait: outside paranoid mode, Wait returns the
+// request to the world free list and the next post reuses the same object.
+func TestRequestRecycledAfterWait(t *testing.T) {
+	unforced(t)
+	eng, w := newWorld(t, quietConfig(1, 2))
+	var first, second *Request
+	w.Spawn(0, func(c *Comm) {
+		first = c.Isend(1, 0, 64)
+		c.Wait(first)
+		second = c.Isend(1, 1, 64)
+		c.Wait(second)
+	})
+	w.Spawn(1, func(c *Comm) {
+		c.Wait(c.Irecv(0, 0))
+		c.Wait(c.Irecv(0, 1))
+	})
+	runWorld(t, eng)
+	if first != second {
+		t.Error("second Isend did not reuse the recycled request")
+	}
+	if len(w.reqFree) == 0 {
+		t.Error("no requests on the free list after all Waits completed")
+	}
+}
+
+// TestWaitTwicePanicsWhenRecycling: waiting on an already-released request
+// is use-after-free; the freed marker must catch it deterministically.
+func TestWaitTwicePanicsWhenRecycling(t *testing.T) {
+	unforced(t)
+	eng, w := newWorld(t, quietConfig(1, 2))
+	var msg string
+	w.Spawn(0, func(c *Comm) {
+		req := c.Isend(1, 0, 64)
+		c.Wait(req)
+		defer func() {
+			if r := recover(); r != nil {
+				msg = r.(string)
+			}
+		}()
+		c.Wait(req)
+	})
+	w.Spawn(1, func(c *Comm) { c.Wait(c.Irecv(0, 0)) })
+	runWorld(t, eng)
+	if !strings.Contains(msg, "already released") {
+		t.Fatalf("double Wait did not panic with the release message: %q", msg)
+	}
+}
+
+// TestParanoidKeepsRequestsLive: under paranoid mode requests are never
+// recycled (the teardown audit asserts on the recorded pointers), and the
+// pre-pooling semantics — a second Wait on a completed request returns
+// immediately — still hold.
+func TestParanoidKeepsRequestsLive(t *testing.T) {
+	eng, w := newWorld(t, quietConfig(1, 2)) // TestMain forces paranoid on
+	w.Spawn(0, func(c *Comm) {
+		req := c.Isend(1, 0, 64)
+		c.Wait(req)
+		c.Wait(req) // must be a no-op, not a panic
+	})
+	w.Spawn(1, func(c *Comm) { c.Wait(c.Irecv(0, 0)) })
+	runWorld(t, eng)
+	if len(w.reqFree) != 0 {
+		t.Fatal("paranoid mode recycled a request the teardown audit tracks")
+	}
+	w.AuditTeardown()
+}
+
+// TestBarrierStateRecycled: collective rounds are pooled. Because fast
+// ranks enter round k+1 before the slowest rank has departed round k, the
+// steady state alternates between exactly two pooled states no matter how
+// many rounds run — both parked on the free list once every rank is done.
+func TestBarrierStateRecycled(t *testing.T) {
+	unforced(t)
+	eng, w := newWorld(t, quietConfig(1, 3))
+	for r := 0; r < 3; r++ {
+		w.Spawn(r, func(c *Comm) {
+			for i := 0; i < 16; i++ {
+				c.Barrier()
+			}
+		})
+	}
+	runWorld(t, eng)
+	if len(w.barFree) != 2 {
+		t.Fatalf("barrier free list holds %d states after 16 rounds, want 2 (two-round overlap)",
+			len(w.barFree))
+	}
+}
+
+// TestAllreduceSumWithPooling locks the value semantics under state reuse:
+// every round's sum must be freshly accumulated, never inherited from the
+// recycled state.
+func TestAllreduceSumWithPooling(t *testing.T) {
+	unforced(t)
+	eng, w := newWorld(t, quietConfig(1, 3))
+	bad := false
+	for r := 0; r < 3; r++ {
+		r := r
+		w.Spawn(r, func(c *Comm) {
+			for round := 0; round < 4; round++ {
+				if got := c.AllreduceSum(float64(r + 1)); got != 6 {
+					bad = true
+				}
+			}
+		})
+	}
+	runWorld(t, eng)
+	if bad {
+		t.Fatal("pooled allreduce state leaked a previous round's sum")
+	}
+}
+
+// --- satellite: allocation-regression tests for the message hot path ---
+
+// perMessageAllocs runs a ping-pong-style exchange of msgs messages through
+// f and returns the average allocations per message, amortizing the
+// per-drain spawn overhead (two procs, two goroutines) across the batch.
+func hotPathAllocs(t *testing.T, msgs int, body func(eng *sim.Engine, w *World)) float64 {
+	t.Helper()
+	unforced(t)
+	eng := sim.NewEngine()
+	net := simnet.New(eng, quietConfig(1, 4))
+	w := NewWorld(eng, net)
+	return testing.AllocsPerRun(5, func() { body(eng, w) }) / float64(msgs)
+}
+
+// TestIsendWaitAllocBudget: a send/recv/wait round trip — two requests, two
+// futures, two matching-queue transitions, four DES events — must allocate
+// (amortized) nothing once the pools are warm. The pre-pooling runtime spent
+// ~6 allocations per message here; the budget locks in the ≥80% reduction
+// with a wide margin so noise cannot flake the test.
+func TestIsendWaitAllocBudget(t *testing.T) {
+	const msgs = 512
+	per := hotPathAllocs(t, msgs, func(eng *sim.Engine, w *World) {
+		w.Spawn(0, func(c *Comm) {
+			for i := 0; i < msgs; i++ {
+				c.Wait(c.Isend(1, 0, 1024))
+			}
+		})
+		w.Spawn(1, func(c *Comm) {
+			for i := 0; i < msgs; i++ {
+				c.Wait(c.Irecv(0, 0))
+			}
+		})
+		eng.Run()
+	})
+	if per > 0.1 {
+		t.Errorf("Isend/Irecv/Wait allocates %.3f objects per message, want ~0 (spawn overhead only)", per)
+	}
+}
+
+// TestUnmatchedArrivalAllocBudget: messages that arrive before their
+// receive is posted park in the mailbox ring — also allocation-free once
+// the ring has grown to the burst size.
+func TestUnmatchedArrivalAllocBudget(t *testing.T) {
+	const msgs = 256
+	per := hotPathAllocs(t, msgs, func(eng *sim.Engine, w *World) {
+		w.Spawn(0, func(c *Comm) {
+			for i := 0; i < msgs; i++ {
+				c.Wait(c.Isend(1, 0, 128))
+			}
+		})
+		w.Spawn(1, func(c *Comm) {
+			c.Compute(1) // let every message arrive unmatched first
+			for i := 0; i < msgs; i++ {
+				c.Wait(c.Irecv(0, 0))
+			}
+		})
+		eng.Run()
+	})
+	if per > 0.15 {
+		t.Errorf("unmatched arrival path allocates %.3f objects per message, want ~0", per)
+	}
+}
+
+// TestBarrierAllocBudget: a full barrier round (join, release event, one
+// resume per rank, state retire) must not allocate once the round pool and
+// waiter slices are warm.
+func TestBarrierAllocBudget(t *testing.T) {
+	const rounds = 256
+	unforced(t)
+	eng := sim.NewEngine()
+	net := simnet.New(eng, quietConfig(1, 4))
+	w := NewWorld(eng, net)
+	per := testing.AllocsPerRun(5, func() {
+		for r := 0; r < 4; r++ {
+			w.Spawn(r, func(c *Comm) {
+				for i := 0; i < rounds; i++ {
+					c.Barrier()
+				}
+			})
+		}
+		eng.Run()
+	}) / rounds
+	if per > 0.2 {
+		t.Errorf("barrier round allocates %.3f objects, want ~0 (spawn overhead only)", per)
+	}
+}

@@ -10,6 +10,14 @@
 // completion is where the fabric's missing-ACK recovery path surfaces
 // (§IV-B): without the drain-queue mitigation, MPI_Wait on a send request
 // occasionally stalls for milliseconds.
+//
+// The runtime is the inner loop of every experiment (two DES events per
+// message, millions per run), so the per-message path is allocation-free in
+// steady state: requests come from a per-world free list and carry their
+// completion future inline, the two per-message events (sender done,
+// delivery) are typed sim payloads instead of closures, and matching state
+// lives in per-key FIFO rings that reuse their backing storage. DESIGN.md §7
+// records the allocation budget and the pooling invariants.
 package mpi
 
 import (
@@ -61,10 +69,19 @@ type World struct {
 	meters []Meter
 	rngs   []*xrand.RNG
 
-	// mailbox[dst] holds arrived-but-unmatched messages; recvq[dst] holds
-	// posted-but-unmatched receives. Matching is FIFO per key.
-	mailbox []map[msgKey][]*arrival
-	recvq   []map[msgKey][]*Request
+	// mq[dst] holds the per-(source, tag) matching state of rank dst:
+	// arrived-but-unmatched messages and posted-but-unmatched receives.
+	// Matching is FIFO per key.
+	mq []map[msgKey]*matchQueue
+
+	// reqFree is the request free list: Wait returns completed requests
+	// here (outside paranoid mode) and Isend/Irecv reuse them, so steady
+	// state allocates no request or future per message.
+	reqFree []*Request
+	// barFree holds retired collective rounds for reuse. At most two rounds
+	// can be live at once (ranks may enter round k+1 before the slowest rank
+	// has departed round k), so this list stays tiny.
+	barFree []*barrierState
 
 	barrier *barrierState
 
@@ -80,7 +97,9 @@ type World struct {
 
 	// paranoid enables the invariant audits of internal/check: collective
 	// round membership inline, message/request hygiene at AuditTeardown.
-	// Defaults to check.Forced() (on under test helpers).
+	// Defaults to check.Forced() (on under test helpers). Paranoid mode
+	// also disables request recycling: the teardown audit holds request
+	// pointers, so reuse would launder a lost completion.
 	paranoid bool
 	// sends tracks every posted send request for the teardown audit
 	// (populated only when paranoid).
@@ -89,27 +108,36 @@ type World struct {
 
 type msgKey struct{ src, tag int }
 
-type arrival struct{ bytes int }
+// matchQueue is the per-(destination, source, tag) matching state: a FIFO of
+// arrived-but-unmatched message sizes and a FIFO of posted-but-unmatched
+// receive requests. At most one side is non-empty at any instant — an
+// arrival immediately matches a queued receive and vice versa. Arrivals are
+// plain byte counts (a value type): queuing a message that nobody has posted
+// for costs no allocation once the ring has grown to the key's high-water
+// mark.
+type matchQueue struct {
+	arrivals ring[int64]
+	recvs    ring[*Request]
+}
 
 // NewWorld creates a world with one rank per network endpoint.
 func NewWorld(eng *sim.Engine, net *simnet.Network) *World {
 	n := net.NumRanks()
 	w := &World{
-		eng:     eng,
-		net:     net,
-		nranks:  n,
-		meters:  make([]Meter, n),
-		rngs:    make([]*xrand.RNG, n),
-		mailbox: make([]map[msgKey][]*arrival, n),
-		recvq:   make([]map[msgKey][]*Request, n),
+		eng:    eng,
+		net:    net,
+		nranks: n,
+		meters: make([]Meter, n),
+		rngs:   make([]*xrand.RNG, n),
+		mq:     make([]map[msgKey]*matchQueue, n),
 	}
 	w.paranoid = check.Forced()
 	seedRoot := xrand.New(net.Config().Seed ^ 0x5eed)
 	for i := 0; i < n; i++ {
 		w.rngs[i] = seedRoot.Split()
-		w.mailbox[i] = make(map[msgKey][]*arrival)
-		w.recvq[i] = make(map[msgKey][]*Request)
+		w.mq[i] = make(map[msgKey]*matchQueue)
 	}
+	eng.SetSink(w)
 	return w
 }
 
@@ -139,20 +167,54 @@ func (w *World) Spawn(rank int, body func(c *Comm)) {
 	})
 }
 
-// Request is a non-blocking operation handle.
+// Request is a non-blocking operation handle. Requests are owned by the
+// world's free list: Wait releases the request for reuse, so a request must
+// not be touched after the Wait that completed it returns (see DESIGN.md §7
+// for the pooling invariants).
 type Request struct {
-	fut   *sim.Future
-	kind  WaitKind
+	// fut is the completion future, inline so a request costs one
+	// allocation total — and zero once the free list is warm.
+	fut   sim.Future
 	bytes int
-	// peer and tag are int32 to keep the Request in the 32-byte allocation
-	// size class (one Request per message; the extra class matters at the
-	// quick suite's message volumes).
-	peer int32
-	tag  int32
+	peer  int32
+	tag   int32
+	kind  WaitKind
+	// freed marks a request returned to the free list; Wait panics on a
+	// freed request to catch use-after-release deterministically.
+	freed bool
 }
 
 // Done reports whether the request has completed.
 func (r *Request) Done() bool { return r.fut.Done() }
+
+// newRequest returns a reset request from the free list, or a fresh one.
+func (w *World) newRequest(kind WaitKind, bytes, peer, tag int) *Request {
+	var r *Request
+	if n := len(w.reqFree); n > 0 {
+		r = w.reqFree[n-1]
+		w.reqFree = w.reqFree[:n-1]
+		r.fut.Reset()
+		r.freed = false
+	} else {
+		r = &Request{}
+	}
+	r.kind = kind
+	r.bytes = bytes
+	r.peer = int32(peer)
+	r.tag = int32(tag)
+	return r
+}
+
+// release returns a completed, waited-on request to the free list. Paranoid
+// mode keeps requests alive instead: the teardown audit asserts on the very
+// pointers it recorded at Isend.
+func (w *World) release(r *Request) {
+	if w.paranoid {
+		return
+	}
+	r.freed = true
+	w.reqFree = append(w.reqFree, r)
+}
 
 // Comm is a rank-bound communicator; all calls must happen on the rank's
 // own process.
@@ -171,6 +233,19 @@ func (c *Comm) Now() sim.Time { return c.p.Now() }
 // World returns the communicator's world.
 func (c *Comm) World() *World { return c.w }
 
+// queueFor returns dst's matching queue for key, creating it on first use.
+// Queues persist for the life of the world (keys recur every step), so the
+// per-key allocation amortizes to zero.
+func (w *World) queueFor(dst int, key msgKey) *matchQueue {
+	m := w.mq[dst]
+	q := m[key]
+	if q == nil {
+		q = &matchQueue{}
+		m[key] = q
+	}
+	return q
+}
+
 // Isend posts a non-blocking send of bytes to dst with the given tag and
 // returns the sender-side request. The message is injected into the fabric
 // immediately; the request completes when the fabric releases the send
@@ -180,11 +255,15 @@ func (c *Comm) Isend(dst, tag, bytes int) *Request {
 		panic("mpi: Isend to self; intra-rank exchanges use memcpy")
 	}
 	w := c.w
+	if dst < 0 || dst >= w.nranks {
+		panic(fmt.Sprintf("mpi: rank %d Isend to invalid peer rank %d (world has %d ranks)",
+			c.rank, dst, w.nranks))
+	}
 	m := &w.meters[c.rank]
 	m.MsgsSent++
 	m.BytesSent += int64(bytes)
 	plan := w.net.PlanSend(c.rank, dst, bytes)
-	req := &Request{fut: sim.NewFuture(), kind: WaitSend, bytes: bytes, peer: int32(dst), tag: int32(tag)}
+	req := w.newRequest(WaitSend, bytes, dst, tag)
 	src := c.rank
 	if tr := w.tracer; tr != nil {
 		now := float64(c.p.Now())
@@ -194,73 +273,87 @@ func (c *Comm) Isend(dst, tag, bytes int) *Request {
 	if w.paranoid {
 		w.sends = append(w.sends, sendRecord{req: req, src: src, dst: dst, tag: tag})
 	}
-	w.eng.After(plan.SenderDoneAfter, func() { req.fut.Complete(w.eng) })
-	w.eng.After(plan.DeliverAfter, func() {
-		w.net.DeliveryDone(src, plan)
-		w.deliver(dst, msgKey{src: src, tag: tag}, bytes)
-	})
+	// The two per-message events, as typed payloads: sender-buffer release
+	// completes the request's inline future; delivery routes back through
+	// DeliverMsg. Scheduling order (sender-done first) fixes the (t, seq)
+	// tie-break, so the event sequence is identical to the closure era.
+	now := w.eng.Now()
+	w.eng.CompleteAt(now+plan.SenderDoneAfter, &req.fut)
+	w.eng.DeliverAt(now+plan.DeliverAfter,
+		int32(src), int32(dst), int32(tag), int64(bytes), plan.Local)
 	return req
 }
 
-// deliver matches an arrived message against posted receives or queues it.
-func (w *World) deliver(dst int, key msgKey, bytes int) {
-	if q := w.recvq[dst][key]; len(q) > 0 {
-		req := q[0]
-		w.recvq[dst][key] = q[1:]
-		req.bytes = bytes
+// DeliverMsg is the sim.MsgSink hook: it fires when a message arrives at
+// its destination, releases the fabric-side delivery state, and matches the
+// message against posted receives or queues it.
+func (w *World) DeliverMsg(src, dst, tag int32, bytes int64, local bool) {
+	w.net.DeliveryDone(int(src), simnet.SendPlan{Local: local})
+	q := w.queueFor(int(dst), msgKey{src: int(src), tag: int(tag)})
+	if q.recvs.n > 0 {
+		req := q.recvs.pop()
+		req.bytes = int(bytes)
 		w.meters[dst].MsgsRecvd++
 		req.fut.Complete(w.eng)
 		return
 	}
-	w.mailbox[dst][key] = append(w.mailbox[dst][key], &arrival{bytes: bytes})
+	q.arrivals.push(bytes)
 }
 
 // Irecv posts a non-blocking receive for a message from src with the given
 // tag. If a matching message already arrived, the request is born complete.
 func (c *Comm) Irecv(src, tag int) *Request {
 	w := c.w
-	key := msgKey{src: src, tag: tag}
-	req := &Request{fut: sim.NewFuture(), kind: WaitRecv, peer: int32(src), tag: int32(tag)}
+	if src < 0 || src >= w.nranks {
+		panic(fmt.Sprintf("mpi: rank %d Irecv from invalid peer rank %d (world has %d ranks)",
+			c.rank, src, w.nranks))
+	}
+	req := w.newRequest(WaitRecv, 0, src, tag)
 	if tr := w.tracer; tr != nil {
 		now := float64(c.p.Now())
 		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Irecv, T0: now, T1: now,
 			Peer: int32(src), Tag: int32(tag)})
 	}
-	if q := w.mailbox[c.rank][key]; len(q) > 0 {
-		req.bytes = q[0].bytes
-		w.mailbox[c.rank][key] = q[1:]
+	q := w.queueFor(c.rank, msgKey{src: src, tag: tag})
+	if q.arrivals.n > 0 {
+		req.bytes = int(q.arrivals.pop())
 		w.meters[c.rank].MsgsRecvd++
 		req.fut.Complete(w.eng)
 		return req
 	}
-	w.recvq[c.rank][key] = append(w.recvq[c.rank][key], req)
+	q.recvs.push(req)
 	return req
 }
 
 // Wait blocks until the request completes, charging the blocked time to the
-// rank's CommWait bucket and reporting it to OnWait.
+// rank's CommWait bucket and reporting it to OnWait. Wait consumes the
+// request: it returns to the world's free list, so the caller must drop the
+// pointer afterwards (waiting twice on the same request panics).
 func (c *Comm) Wait(req *Request) {
-	if req.Done() {
-		return
+	if req.freed {
+		panic("mpi: Wait on a request already released by a previous Wait")
 	}
-	m := &c.w.meters[c.rank]
-	start := c.p.Now()
-	c.p.Await(req.fut)
-	dur := c.p.Now() - start
-	m.CommWait += dur
-	m.Waits++
-	if tr := c.w.tracer; tr != nil {
-		kind := trace.SendWait
-		if req.kind == WaitRecv {
-			kind = trace.RecvWait
+	if !req.fut.Done() {
+		m := &c.w.meters[c.rank]
+		start := c.p.Now()
+		c.p.Await(&req.fut)
+		dur := c.p.Now() - start
+		m.CommWait += dur
+		m.Waits++
+		if tr := c.w.tracer; tr != nil {
+			kind := trace.SendWait
+			if req.kind == WaitRecv {
+				kind = trace.RecvWait
+			}
+			tr.Emit(trace.Span{Rank: int32(c.rank), Kind: kind,
+				T0: float64(start), T1: float64(c.p.Now()),
+				Peer: req.peer, Bytes: int64(req.bytes), Tag: req.tag})
 		}
-		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: kind,
-			T0: float64(start), T1: float64(c.p.Now()),
-			Peer: req.peer, Bytes: int64(req.bytes), Tag: req.tag})
+		if c.w.OnWait != nil {
+			c.w.OnWait(c.rank, req.kind, dur)
+		}
 	}
-	if c.w.OnWait != nil {
-		c.w.OnWait(c.rank, req.kind, dur)
-	}
+	c.w.release(req)
 }
 
 // WaitAll waits on every request in order.
@@ -271,9 +364,10 @@ func (c *Comm) WaitAll(reqs []*Request) {
 }
 
 type barrierState struct {
-	fut     *sim.Future
-	arrived int
-	sum     float64
+	fut      sim.Future
+	arrived  int
+	departed int
+	sum      float64
 	// op guards against mismatched collectives: every rank in a round must
 	// call the same operation (as MPI requires).
 	op string
@@ -283,15 +377,51 @@ type barrierState struct {
 	members []bool
 }
 
+// getBarrier returns a reset collective round from the free list, or a
+// fresh one.
+func (w *World) getBarrier(op string) *barrierState {
+	var b *barrierState
+	if n := len(w.barFree); n > 0 {
+		b = w.barFree[n-1]
+		w.barFree = w.barFree[:n-1]
+		b.fut.Reset()
+		b.arrived = 0
+		b.departed = 0
+		b.sum = 0
+	} else {
+		b = &barrierState{}
+	}
+	b.op = op
+	if w.paranoid {
+		if cap(b.members) >= w.nranks {
+			b.members = b.members[:w.nranks]
+			for i := range b.members {
+				b.members[i] = false
+			}
+		} else {
+			b.members = make([]bool, w.nranks)
+		}
+	} else {
+		b.members = nil
+	}
+	return b
+}
+
+// depart records one rank leaving the released collective; the last
+// departure retires the round's state to the free list for reuse.
+func (w *World) depart(b *barrierState) {
+	b.departed++
+	if b.departed == w.nranks {
+		w.barFree = append(w.barFree, b)
+	}
+}
+
 // joinCollective registers the caller in the current collective round,
 // enforcing that all ranks call the same operation and (in paranoid mode)
 // that no rank joins the same round twice.
 func (w *World) joinCollective(op string, rank int) *barrierState {
 	if w.barrier == nil {
-		w.barrier = &barrierState{fut: sim.NewFuture(), op: op}
-		if w.paranoid {
-			w.barrier.members = make([]bool, w.nranks)
-		}
+		w.barrier = w.getBarrier(op)
 	}
 	b := w.barrier
 	if b.op != op {
@@ -319,10 +449,11 @@ func (c *Comm) Barrier() {
 	if b.arrived == w.nranks {
 		w.barrier = nil // next Barrier call starts a new round
 		release := w.net.CollectiveLatency(w.nranks)
-		w.eng.After(release, func() { b.fut.Complete(w.eng) })
+		w.eng.CompleteAfter(release, &b.fut)
 	}
-	c.p.Await(b.fut)
+	c.p.Await(&b.fut)
 	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
+	w.depart(b)
 	if tr := w.tracer; tr != nil {
 		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Barrier,
 			T0: float64(arrivedAt), T1: float64(c.p.Now()), Peer: -1, Tag: -1})
@@ -343,15 +474,17 @@ func (c *Comm) AllreduceSum(v float64) float64 {
 	if b.arrived == w.nranks {
 		w.barrier = nil
 		release := 2 * w.net.CollectiveLatency(w.nranks)
-		w.eng.After(release, func() { b.fut.Complete(w.eng) })
+		w.eng.CompleteAfter(release, &b.fut)
 	}
-	c.p.Await(b.fut)
+	c.p.Await(&b.fut)
+	sum := b.sum
 	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
+	w.depart(b)
 	if tr := w.tracer; tr != nil {
 		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Allreduce,
 			T0: float64(arrivedAt), T1: float64(c.p.Now()), Peer: -1, Tag: -1})
 	}
-	return b.sum
+	return sum
 }
 
 // Compute runs a compute kernel of the given nominal cost (seconds on a

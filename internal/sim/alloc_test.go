@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+// The engine is the hot path of every experiment (millions of events per
+// run), so this file locks in the zero-allocation scheduling contract with
+// testing.AllocsPerRun: once the event arena and heap have grown to the
+// workload's high-water mark (AllocsPerRun's warm-up run does that), event
+// push/pop and process switching must not allocate. A regression here
+// multiplies by the ~2 events per simulated message of every campaign.
+
+// TestEventPushPopAllocFree: scheduling and draining typed fn events must
+// be allocation-free in steady state.
+func TestEventPushPopAllocFree(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	const batch = 1024
+	per := testing.AllocsPerRun(10, func() {
+		now := e.Now()
+		for i := 0; i < batch; i++ {
+			e.At(now+float64(i%13), fn)
+		}
+		for e.Step() {
+		}
+	})
+	if per > 0 {
+		t.Errorf("event push/pop allocates %.1f objects per %d-event batch, want 0", per, batch)
+	}
+}
+
+// TestTypedMessageEventsAllocFree: the CompleteAt / DeliverAt fast paths
+// (one each per simulated message) must be allocation-free in steady state.
+func TestTypedMessageEventsAllocFree(t *testing.T) {
+	e := NewEngine()
+	e.SetSink(nopSink{})
+	f := NewFuture()
+	const batch = 512
+	per := testing.AllocsPerRun(10, func() {
+		now := e.Now()
+		for i := 0; i < batch; i++ {
+			e.DeliverAt(now+float64(i%7), 0, 1, int32(i), 64, true)
+		}
+		f.Reset()
+		e.CompleteAt(now+100, f)
+		for e.Step() {
+		}
+	})
+	if per > 0 {
+		t.Errorf("typed message events allocate %.1f objects per %d-event batch, want 0", per, batch)
+	}
+}
+
+type nopSink struct{}
+
+func (nopSink) DeliverMsg(src, dst, tag int32, bytes int64, local bool) {}
+
+// TestProcSwitchAllocFree: a process sleep/resume cycle (two coroutine
+// handoffs plus one heap event) must not allocate. Spawn itself allocates
+// (proc struct, goroutine, channel), so the cost is amortized over many
+// switches and the budget is a small fraction per switch.
+func TestProcSwitchAllocFree(t *testing.T) {
+	e := NewEngine()
+	const switches = 2048
+	per := testing.AllocsPerRun(5, func() {
+		e.Spawn("s", func(p *Proc) {
+			for i := 0; i < switches; i++ {
+				p.Sleep(1)
+			}
+		})
+		e.Run()
+	}) / switches
+	if per > 0.02 {
+		t.Errorf("proc switch allocates %.4f objects per switch, want ~0 (spawn overhead only)", per)
+	}
+}

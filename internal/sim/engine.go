@@ -9,10 +9,17 @@
 // inputs replay identical schedules, which is what makes the telemetry
 // experiments reproducible.
 //
-// Processes are goroutines that synchronize with the engine through paired
-// channels: the engine resumes a process, the process runs until it blocks
-// (Sleep, Await) or finishes, then hands control back. Only one goroutine is
-// ever runnable, so process code needs no locking.
+// Processes are goroutines that synchronize with the engine through a
+// rendezvous channel: the engine resumes a process, the process runs until
+// it blocks (Sleep, Await) or finishes, then hands control back. Only one
+// goroutine is ever runnable, so process code needs no locking.
+//
+// The engine is also the hot path of every experiment (millions of events
+// per run), so scheduling is allocation-free in steady state: events are
+// typed payloads, not closures. The generic At/After closure form remains
+// for cold paths; the per-message fast paths (future completion, message
+// delivery) have dedicated typed variants so the MPI layer never allocates
+// to schedule them.
 package sim
 
 import "fmt"
@@ -20,13 +27,52 @@ import "fmt"
 // Time is virtual time in seconds.
 type Time = float64
 
+// evKind discriminates the payload variants of a scheduled event.
+type evKind uint8
+
+const (
+	// evFn executes a closure inline (generic cold-path events).
+	evFn evKind = iota
+	// evProc resumes a blocked process.
+	evProc
+	// evFuture completes a Future at the scheduled time.
+	evFuture
+	// evMsg delivers a message payload to the engine's registered MsgSink.
+	evMsg
+)
+
+// event is a heap entry: ordering key plus an index into the engine's body
+// arena. Keeping entries at 24 bytes makes the sift operations — the
+// hottest loop of every simulation — move 3 words per swap and pack three
+// entries per cache line, while the payload (which sift never reads) stays
+// put in its arena slot.
 type event struct {
 	t   Time
 	seq int64
-	// Exactly one of fn/proc is set: fn events execute inline, proc events
-	// resume a blocked process.
-	fn   func()
-	proc *Proc
+	idx int32 // index into Engine.bodies
+}
+
+// evBody is the payload of one scheduled event. Exactly one variant (fn,
+// proc, fut, or the msg fields) is meaningful, selected by kind. Bodies
+// live in an engine-owned arena recycled through a free list, so scheduling
+// allocates only when the pending-event high-water mark grows.
+type evBody struct {
+	fn    func()
+	proc  *Proc
+	fut   *Future
+	bytes int64
+	src   int32
+	dst   int32
+	tag   int32
+	kind  evKind
+	local bool
+}
+
+// MsgSink receives typed message-delivery events scheduled with DeliverAt.
+// The MPI world registers itself once per engine; the payload fields are
+// exactly what its matching logic needs, so a delivery costs no closure.
+type MsgSink interface {
+	DeliverMsg(src, dst, tag int32, bytes int64, local bool)
 }
 
 // eventHeap is a binary min-heap ordered by (t, seq). It is the hottest
@@ -66,7 +112,6 @@ func (h *eventHeap) pop() event {
 	top := q[0]
 	n := len(q) - 1
 	q[0] = q[n]
-	q[n] = event{} // release fn/proc references
 	q = q[:n]
 	*h = q
 	i := 0
@@ -95,7 +140,10 @@ type Engine struct {
 	seq     int64
 	events  int64
 	pq      eventHeap
-	procs   []*Proc // all spawned processes, for Close
+	bodies  []evBody // payload arena, indexed by event.idx
+	freeB   []int32  // free slots in bodies
+	sink    MsgSink  // receiver of evMsg payloads (set once by the MPI world)
+	procs   []*Proc  // all spawned processes, for Close
 	running bool
 }
 
@@ -109,26 +157,77 @@ func (e *Engine) Now() Time { return e.now }
 // reported per run by the campaign harness.
 func (e *Engine) Events() int64 { return e.events }
 
+// SetSink registers the receiver of message-delivery events. At most one
+// sink may be registered per engine (one MPI world per engine); registering
+// a second distinct sink panics rather than silently misrouting deliveries.
+func (e *Engine) SetSink(s MsgSink) {
+	if e.sink != nil && e.sink != s {
+		panic("sim: SetSink called twice with different sinks (one world per engine)")
+	}
+	e.sink = s
+}
+
+// schedule stores the body in a free arena slot and pushes its heap entry.
+func (e *Engine) schedule(t Time, b evBody) {
+	var idx int32
+	if n := len(e.freeB); n > 0 {
+		idx = e.freeB[n-1]
+		e.freeB = e.freeB[:n-1]
+	} else {
+		e.bodies = append(e.bodies, evBody{})
+		idx = int32(len(e.bodies) - 1)
+	}
+	e.bodies[idx] = b
+	e.seq++
+	e.pq.push(event{t: t, seq: e.seq, idx: idx})
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would silently reorder causality.
 func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
-	e.seq++
-	e.pq.push(event{t: t, seq: e.seq, fn: fn})
+	e.schedule(t, evBody{kind: evFn, fn: fn})
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
 func (e *Engine) After(d float64, fn func()) { e.At(e.now+d, fn) }
+
+// CompleteAt schedules f to complete at absolute virtual time t — the typed
+// replacement for At(t, func(){ f.Complete(e) }) on the per-message hot
+// path (sender-side request completion, collective release). The caller
+// must keep f alive and un-recycled until the event fires.
+func (e *Engine) CompleteAt(t Time, f *Future) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.schedule(t, evBody{kind: evFuture, fut: f})
+}
+
+// CompleteAfter schedules f to complete d seconds from now.
+func (e *Engine) CompleteAfter(d float64, f *Future) { e.CompleteAt(e.now+d, f) }
+
+// DeliverAt schedules a message-delivery event: at time t the registered
+// MsgSink receives the payload verbatim. This is the closure-free delivery
+// path — the payload is a value in the event arena, so a simulated message
+// costs no heap allocation to schedule.
+func (e *Engine) DeliverAt(t Time, src, dst, tag int32, bytes int64, local bool) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	if e.sink == nil {
+		panic("sim: DeliverAt with no MsgSink registered")
+	}
+	e.schedule(t, evBody{kind: evMsg, src: src, dst: dst, tag: tag, bytes: bytes, local: local})
+}
 
 // schedProc schedules a process resume at absolute time t.
 func (e *Engine) schedProc(t Time, p *Proc) {
 	if t < e.now {
 		panic("sim: proc scheduled in the past")
 	}
-	e.seq++
-	e.pq.push(event{t: t, seq: e.seq, proc: p})
+	e.schedule(t, evBody{kind: evProc, proc: p})
 }
 
 // Step executes the next event. It returns false when no events remain.
@@ -137,12 +236,20 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.pq.pop()
+	b := e.bodies[ev.idx]
+	e.bodies[ev.idx] = evBody{} // release fn/proc/fut references
+	e.freeB = append(e.freeB, ev.idx)
 	e.now = ev.t
 	e.events++
-	if ev.fn != nil {
-		ev.fn()
-	} else {
-		ev.proc.run()
+	switch b.kind {
+	case evFn:
+		b.fn()
+	case evProc:
+		b.proc.run()
+	case evFuture:
+		b.fut.Complete(e)
+	default: // evMsg
+		e.sink.DeliverMsg(b.src, b.dst, b.tag, b.bytes, b.local)
 	}
 	return true
 }
@@ -177,8 +284,8 @@ func (e *Engine) Blocked() []*Proc {
 	var out []*Proc
 	scheduled := map[*Proc]bool{}
 	for _, ev := range e.pq {
-		if ev.proc != nil {
-			scheduled[ev.proc] = true
+		if p := e.bodies[ev.idx].proc; p != nil {
+			scheduled[p] = true
 		}
 	}
 	for _, p := range e.procs {

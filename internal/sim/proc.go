@@ -9,8 +9,13 @@ type Proc struct {
 	eng  *Engine
 	name string
 
-	sched chan struct{} // engine → proc: you may run
-	yield chan struct{} // proc → engine: I am blocked or done
+	// hand is the single rendezvous channel between the engine and the
+	// process. Control strictly alternates — the engine sends to resume the
+	// process, then receives its yield; the process sends to yield, then
+	// receives its next resume — so one channel serves both directions.
+	// (The previous two-channel handoff touched two hchans per switch; one
+	// channel keeps the same hchan hot in cache for all four operations.)
+	hand chan struct{}
 
 	started  bool
 	finished bool
@@ -37,10 +42,9 @@ func (k killedError) Error() string { return "sim: proc " + k.name + " killed" }
 // exit, exactly like a timed-out harness run.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		eng:   e,
-		name:  name,
-		sched: make(chan struct{}),
-		yield: make(chan struct{}),
+		eng:  e,
+		name: name,
+		hand: make(chan struct{}),
 	}
 	e.procs = append(e.procs, p)
 	go func() {
@@ -51,9 +55,9 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 				}
 			}
 			p.finished = true
-			p.yield <- struct{}{}
+			p.hand <- struct{}{}
 		}()
-		<-p.sched
+		<-p.hand
 		p.checkKill()
 		fn(p)
 	}()
@@ -69,8 +73,8 @@ func (p *Proc) Name() string { return p.name }
 // Called only by the engine. A panic captured from the process body is
 // re-raised here, in the engine caller's goroutine.
 func (p *Proc) run() {
-	p.sched <- struct{}{}
-	<-p.yield
+	p.hand <- struct{}{}
+	<-p.hand
 	if r := p.panicked; r != nil {
 		p.panicked = nil
 		panic(r)
@@ -79,8 +83,8 @@ func (p *Proc) run() {
 
 // block hands control back to the engine and waits to be rescheduled.
 func (p *Proc) block() {
-	p.yield <- struct{}{}
-	<-p.sched
+	p.hand <- struct{}{}
+	<-p.hand
 	p.checkKill()
 }
 
@@ -108,7 +112,11 @@ func (p *Proc) Await(f *Future) {
 	if f.done {
 		return
 	}
-	f.waiters = append(f.waiters, p)
+	if f.w0 == nil {
+		f.w0 = p
+	} else {
+		f.more = append(f.more, p)
+	}
 	p.block()
 }
 
@@ -121,9 +129,16 @@ func (p *Proc) AwaitAll(fs []*Future) {
 
 // Future is a one-shot completion signal processes can Await. The zero value
 // is a pending future.
+//
+// The first waiter is stored inline: almost every future in the MPI runtime
+// (send and receive requests) has exactly one waiter, so the common Await
+// never touches the overflow slice and never allocates. An owner that pools
+// futures may return one to pending with Reset once it has completed and
+// every waiter has resumed.
 type Future struct {
-	done    bool
-	waiters []*Proc
+	done bool
+	w0   *Proc   // first waiter, inline
+	more []*Proc // additional waiters, in Await order (collectives)
 }
 
 // NewFuture returns a pending future.
@@ -140,8 +155,25 @@ func (f *Future) Complete(e *Engine) {
 		panic("sim: Future completed twice")
 	}
 	f.done = true
-	for _, w := range f.waiters {
+	if w := f.w0; w != nil {
+		f.w0 = nil
 		e.schedProc(e.now, w)
 	}
-	f.waiters = nil
+	for _, w := range f.more {
+		e.schedProc(e.now, w)
+	}
+	f.more = f.more[:0] // keep capacity for pooled reuse
+}
+
+// Reset returns a completed future to pending so its owner can reuse it
+// (the request/collective pools of the MPI runtime). Only safe after
+// Complete has run and every waiter has resumed: resetting a pending future
+// would strand its waiters, so that is a programming error and panics.
+func (f *Future) Reset() {
+	if !f.done && (f.w0 != nil || len(f.more) > 0) {
+		panic("sim: Reset of a pending future with waiters")
+	}
+	f.done = false
+	f.w0 = nil
+	f.more = f.more[:0]
 }

@@ -320,7 +320,8 @@ func (n *Network) CollectiveLatency(nranks int) float64 {
 	return float64(depth) * n.cfg.RemoteLatency
 }
 
-// Jitter returns a multiplicative compute-noise factor ~ (1 + Jitter·|N(0,1)|).
+// JitterFactor returns a multiplicative compute-noise factor
+// ~ (1 + Jitter·|N(0,1)|).
 func (n *Network) JitterFactor() float64 {
 	if n.cfg.Jitter == 0 {
 		return 1
