@@ -5,7 +5,7 @@ GO ?= go
 RACE_PKGS = ./internal/harness/... ./internal/experiments/... \
             ./internal/sim/... ./internal/mpi/... ./internal/placement/...
 
-.PHONY: all build vet test race bench benchcmp check fmt
+.PHONY: all build vet lint test race bench benchcmp check fmt
 
 all: check
 
@@ -14,6 +14,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# amrlint: the repo's own static analyzer (cmd/amrlint). Enforces the
+# determinism/resource-discipline rules of DESIGN.md §8; any diagnostic
+# fails the build. Waive single sites with //lint:ignore <rule> <reason>.
+lint:
+	$(GO) run ./cmd/amrlint ./...
 
 test:
 	$(GO) test ./...
@@ -36,4 +42,4 @@ benchcmp:
 fmt:
 	gofmt -l . && test -z "$$(gofmt -l .)"
 
-check: vet build test race
+check: vet lint build test race

@@ -1,0 +1,108 @@
+// Command amrlint runs the repo's custom static analyzers (internal/lint)
+// over the module: determinism, map-order, request-leak, span-pairing, and
+// exhaustive-switch rules, each the compile-time half of a runtime invariant
+// audited by internal/check. See DESIGN.md §8 for the rule table.
+//
+// Usage:
+//
+//	amrlint [-json] [-C dir] [patterns ...]
+//
+// Patterns default to ./... and are module-relative ("./internal/sim/...",
+// "./cmd/experiments"). Exit status is 1 when any diagnostic survives
+// waivers, 2 on load errors — so `go run ./cmd/amrlint ./...` is a CI gate.
+//
+// In -json mode each diagnostic is one JSON object per line:
+//
+//	{"file":"internal/solver/solver.go","line":70,"col":14,"rule":"determinism","message":"…","fix":"…"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"amrtools/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit one JSON object per diagnostic line")
+	dir := flag.String("C", "", "module root (default: nearest go.mod above the working directory)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: amrlint [-json] [-C dir] [patterns ...]\n\nrules:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name(), a.Doc())
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "  %-12s malformed or unused //lint:ignore waivers\n\nflags:\n", lint.WaiverRule)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	root := *dir
+	if root == "" {
+		var err error
+		root, err = moduleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "amrlint:", err)
+			os.Exit(2)
+		}
+	}
+
+	pkgs, err := lint.Load(lint.LoadConfig{Dir: root, Patterns: flag.Args()})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amrlint:", err)
+		os.Exit(2)
+	}
+	if len(pkgs) == 0 {
+		// A typo'd pattern must not pass silently as "zero diagnostics".
+		fmt.Fprintf(os.Stderr, "amrlint: patterns %v matched no packages\n", flag.Args())
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, lint.Analyzers())
+	relativize(diags, root)
+
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "amrlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "amrlint: %d diagnostic(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// relativize rewrites absolute file paths to module-relative ones so output
+// is stable across checkouts.
+func relativize(diags []lint.Diagnostic, root string) {
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil {
+			diags[i].File = filepath.ToSlash(rel)
+		}
+	}
+}

@@ -231,10 +231,15 @@ func writeCompareTable(w io.Writer, old, cur []result, threshold float64) int {
 		fmt.Fprintf(w, "%-42s %14s %14s %9s %14s %14s %9s%s\n",
 			name, cells[0], cells[1], cells[2], cells[3], cells[4], cells[5], mark)
 	}
+	var removed []string
 	for name := range om {
 		if _, ok := cm[name]; !ok {
-			fmt.Fprintf(w, "%-42s %s\n", name, "(removed — present only in baseline)")
+			removed = append(removed, name)
 		}
+	}
+	sort.Strings(removed)
+	for _, name := range removed {
+		fmt.Fprintf(w, "%-42s %s\n", name, "(removed — present only in baseline)")
 	}
 	return regressions
 }

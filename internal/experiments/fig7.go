@@ -396,6 +396,10 @@ func Fig7c(opts Options) *telemetry.Table {
 				}
 				rows := make([]row, 0, len(policies))
 				for _, pol := range policies {
+					// Deliberately wall-clock: this experiment measures the real
+					// latency of the placement call itself (the paper's 50 ms
+					// budget), so it cannot be deterministic. experiments is
+					// outside amrlint's deterministic core for exactly this case.
 					best := time.Duration(1 << 62)
 					for rep := 0; rep < 3; rep++ {
 						start := time.Now()

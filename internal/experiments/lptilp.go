@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"time"
 
 	"amrtools/internal/cost"
 	"amrtools/internal/harness"
@@ -15,8 +14,11 @@ import (
 // LPTvsILP reproduces the §V-B validation: LPT solutions are compared
 // against an exact branch-and-bound makespan solver (the stand-in for the
 // paper's Gurobi runs, which could not improve on LPT within 200 s). The
-// solver gets a per-instance time budget; `gap_pct` is how much the solver
-// improved on LPT (0 = LPT already optimal or unimproved).
+// solver gets a per-instance budget of explored branch-and-bound nodes —
+// not wall-clock time, so the table is bit-identical across machines and
+// runs (the quick/full knob scales the budget the way it used to scale the
+// deadline). `gap_pct` is how much the solver improved on LPT (0 = LPT
+// already optimal or unimproved).
 //
 // Columns: blocks, ranks, lpt_makespan, solver_makespan, solver_optimal,
 // gap_pct.
@@ -26,14 +28,16 @@ func LPTvsILP(opts Options) *telemetry.Table {
 		telemetry.FloatCol("lpt_makespan"), telemetry.FloatCol("solver_makespan"),
 		telemetry.IntCol("solver_optimal"), telemetry.FloatCol("gap_pct"),
 	)
-	budget := 2 * time.Second
+	// ~2 s of search on the reference machine; what matters is that the
+	// budget is a node count, so every machine truncates identically.
+	budget := int64(20_000_000)
 	// Realistic AMR cost regimes: several blocks per rank, cost ratios of a
 	// few × (truncated heavy tail). This is the regime where the paper's
 	// Gurobi runs could not improve on LPT; with unbounded tails at 2–3
 	// blocks per rank, exact solvers *can* shave several percent.
 	sizes := []struct{ n, r int }{{24, 4}, {32, 4}, {36, 6}, {40, 8}}
 	if opts.Quick {
-		budget = 200 * time.Millisecond
+		budget = 2_000_000
 		sizes = sizes[:2]
 	}
 	dist := cost.Truncated{D: cost.PowerLaw{XM: 0.6, Alpha: 2.5}, Lo: 0.6, Hi: 5}

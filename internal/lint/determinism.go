@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DefaultCorePackages is the deterministic core of this module: the packages
+// whose outputs must be bit-identical across machines, runs, and harness
+// worker counts (DESIGN.md §2). Wall-clock reads, ambient randomness,
+// environment lookups, and ad-hoc goroutines inside them make result tables
+// machine- or schedule-dependent.
+var DefaultCorePackages = []string{
+	"amrtools/internal/sim",
+	"amrtools/internal/simnet",
+	"amrtools/internal/mpi",
+	"amrtools/internal/driver",
+	"amrtools/internal/placement",
+	"amrtools/internal/solver",
+	"amrtools/internal/sfc",
+	"amrtools/internal/cost",
+}
+
+// wallClockFuncs are the time-package functions that read or depend on the
+// wall clock (or the scheduler's notion of real time).
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// envFuncs are the os-package ambient-configuration reads.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+// Determinism flags wall-clock reads (time.Now/Since/…), math/rand imports,
+// os environment lookups, and goroutine spawns inside the deterministic
+// core. Randomness must come from internal/xrand (seeded, stream-split);
+// simulated time from the DES engine's virtual clock; configuration from
+// Config structs; concurrency from the audited fork-join helpers already in
+// place. Telemetry-only wall-clock reads are waivable with a reason.
+//
+// Runtime counterpart: the j1-vs-jN table-identity tests and the
+// differential campaign (internal/check) — they detect the divergence these
+// constructs cause, this rule names the construct before a campaign has to.
+type Determinism struct {
+	// Core is the set of import paths forming the deterministic core.
+	Core []string
+}
+
+// NewDeterminism returns the determinism analyzer over the given core
+// package set (DefaultCorePackages when nil).
+func NewDeterminism(core []string) *Determinism {
+	if core == nil {
+		core = DefaultCorePackages
+	}
+	return &Determinism{Core: core}
+}
+
+func (d *Determinism) Name() string { return "determinism" }
+func (d *Determinism) Doc() string {
+	return "forbid wall-clock, math/rand, env lookups, and goroutine spawns in the deterministic core"
+}
+
+func (d *Determinism) Run(pass *Pass) {
+	core := false
+	for _, p := range d.Core {
+		if pass.Pkg.Path == p {
+			core = true
+			break
+		}
+	}
+	if !core {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, spec := range f.Imports {
+			path := strings.Trim(spec.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(spec.Pos(), d.Name(),
+					"use internal/xrand (seeded, stream-splittable)",
+					"import of %s in deterministic core package %s", path, pass.Pkg.Path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), d.Name(),
+					"use a deterministic fork-join (fixed partition, WaitGroup, disjoint writes) and waive it with the invariant it preserves",
+					"goroutine spawn in deterministic core package %s", pass.Pkg.Path)
+			case *ast.SelectorExpr:
+				// Flagging the selector rather than a call catches stored
+				// references (fn := time.Now) as well as direct calls.
+				pkgName, fun := stdlibSelector(pass, n)
+				switch {
+				case pkgName == "time" && wallClockFuncs[fun]:
+					pass.Reportf(n.Pos(), d.Name(),
+						"derive times from the DES virtual clock or replace the wall-clock dependence with a deterministic budget",
+						"wall-clock call time.%s in deterministic core package %s", fun, pass.Pkg.Path)
+				case pkgName == "os" && envFuncs[fun]:
+					pass.Reportf(n.Pos(), d.Name(),
+						"thread configuration through the package's Config struct",
+						"environment lookup os.%s in deterministic core package %s", fun, pass.Pkg.Path)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// stdlibSelector resolves a selector of the form pkg.Fun where pkg is an
+// imported package name, returning the package path and function name
+// ("" when the selector has another shape, e.g. a method on a value).
+func stdlibSelector(pass *Pass, sel *ast.SelectorExpr) (pkgPath, fun string) {
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}

@@ -1,0 +1,297 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Exhaustive enforces closed-sum-type switches: a switch over a module-
+// declared enum type (a defined basic type with a block of typed constants —
+// evBody kinds, trace span kinds, wait kinds) and a type switch over a
+// module-declared sealed interface (one with an unexported method) must
+// either cover every variant or carry a default clause that panics. A
+// silent default is how a newly added variant slips through every layer
+// until a table diverges.
+//
+// Sentinel terminator constants (names beginning num/max/count, and blank
+// constants) do not count as variants.
+//
+// Runtime counterpart: paranoid-mode audits panic on impossible states after
+// the fact; this rule refuses the hole at compile time.
+type Exhaustive struct{}
+
+func (Exhaustive) Name() string { return "exhaustive" }
+func (Exhaustive) Doc() string {
+	return "switches over module enum types and sealed interfaces must cover every variant or panic in default"
+}
+
+func (Exhaustive) Run(pass *Pass) {
+	modulePkgs := map[*types.Package]*Package{}
+	for _, p := range pass.Module {
+		modulePkgs[p.Types] = p
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch sw := n.(type) {
+			case *ast.SwitchStmt:
+				checkEnumSwitch(pass, modulePkgs, sw)
+			case *ast.TypeSwitchStmt:
+				checkTypeSwitch(pass, modulePkgs, sw)
+			}
+			return true
+		})
+	}
+}
+
+// sentinelConst reports whether a constant is a terminator/sentinel rather
+// than a variant (numKinds-style counters).
+func sentinelConst(name string) bool {
+	lower := strings.ToLower(name)
+	return name == "_" ||
+		strings.HasPrefix(lower, "num") ||
+		strings.HasPrefix(lower, "max") ||
+		strings.HasPrefix(lower, "count")
+}
+
+// enumVariants returns the package-level constants of exactly type named,
+// excluding sentinels, when named is a module-declared basic-kinded type
+// with at least two such constants.
+func enumVariants(modulePkgs map[*types.Package]*Package, named *types.Named) []*types.Const {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return nil
+	}
+	if _, inModule := modulePkgs[obj.Pkg()]; !inModule {
+		return nil
+	}
+	if _, basic := named.Underlying().(*types.Basic); !basic {
+		return nil
+	}
+	scope := obj.Pkg().Scope()
+	var consts []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || sentinelConst(name) || !types.Identical(c.Type(), named) {
+			continue
+		}
+		consts = append(consts, c)
+	}
+	if len(consts) < 2 {
+		return nil
+	}
+	sort.Slice(consts, func(i, j int) bool {
+		return constant.Compare(consts[i].Val(), token.LSS, consts[j].Val())
+	})
+	return consts
+}
+
+func checkEnumSwitch(pass *Pass, modulePkgs map[*types.Package]*Package, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	named, ok := pass.TypeOf(sw.Tag).(*types.Named)
+	if !ok {
+		return
+	}
+	variants := enumVariants(modulePkgs, named)
+	if variants == nil {
+		return
+	}
+
+	covered := map[string]bool{}
+	hasDefault, defaultPanics := false, false
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+			defaultPanics = bodyPanics(cc.Body)
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+				covered[tv.Value.ExactString()] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, c := range variants {
+		if !covered[c.Val().ExactString()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	reportSwitch(pass, sw.Pos(), named.Obj().Name(), missing, hasDefault, defaultPanics)
+}
+
+// checkTypeSwitch enforces coverage for type switches over sealed module
+// interfaces: every module-declared named type implementing the interface
+// must appear as a case.
+func checkTypeSwitch(pass *Pass, modulePkgs map[*types.Package]*Package, sw *ast.TypeSwitchStmt) {
+	iface, name := switchedInterface(pass, sw)
+	if iface == nil || !sealedModuleInterface(modulePkgs, iface) {
+		return
+	}
+	impls := implementers(modulePkgs, iface)
+	if len(impls) < 2 {
+		return
+	}
+
+	covered := map[string]bool{}
+	hasDefault, defaultPanics := false, false
+	for _, stmt := range sw.Body.List {
+		cc := stmt.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+			defaultPanics = bodyPanics(cc.Body)
+			continue
+		}
+		for _, e := range cc.List {
+			t := pass.TypeOf(e)
+			if t == nil {
+				continue
+			}
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if n, ok := t.(*types.Named); ok {
+				covered[typeKey(n)] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, impl := range impls {
+		if !covered[typeKey(impl)] {
+			missing = append(missing, impl.Obj().Name())
+		}
+	}
+	reportSwitch(pass, sw.Pos(), name, missing, hasDefault, defaultPanics)
+}
+
+// reportSwitch emits the shared diagnostic for both switch forms.
+func reportSwitch(pass *Pass, pos token.Pos, typeName string, missing []string, hasDefault, defaultPanics bool) {
+	if len(missing) == 0 {
+		return
+	}
+	if hasDefault && defaultPanics {
+		return
+	}
+	if !hasDefault {
+		pass.Reportf(pos, "exhaustive",
+			"add the missing cases or a default clause that panics",
+			"switch over %s misses variants %s and has no default",
+			typeName, strings.Join(missing, ", "))
+		return
+	}
+	pass.Reportf(pos, "exhaustive",
+		"make the default panic (check.Failf) so a new variant cannot be silently absorbed",
+		"switch over %s misses variants %s behind a non-panicking default",
+		typeName, strings.Join(missing, ", "))
+}
+
+// switchedInterface resolves the interface type being switched over and a
+// printable name for it.
+func switchedInterface(pass *Pass, sw *ast.TypeSwitchStmt) (*types.Named, string) {
+	var x ast.Expr
+	switch a := sw.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			if ta, ok := a.Rhs[0].(*ast.TypeAssertExpr); ok {
+				x = ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := a.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	if x == nil {
+		return nil, ""
+	}
+	named, ok := pass.TypeOf(x).(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	if _, isIface := named.Underlying().(*types.Interface); !isIface {
+		return nil, ""
+	}
+	return named, named.Obj().Name()
+}
+
+// sealedModuleInterface reports whether iface is declared in a module
+// package and has at least one unexported method (so no type outside the
+// module can implement it: its implementer set is closed and enumerable).
+func sealedModuleInterface(modulePkgs map[*types.Package]*Package, named *types.Named) bool {
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	if _, inModule := modulePkgs[obj.Pkg()]; !inModule {
+		return false
+	}
+	iface := named.Underlying().(*types.Interface)
+	for i := 0; i < iface.NumMethods(); i++ {
+		if !iface.Method(i).Exported() {
+			return true
+		}
+	}
+	return false
+}
+
+// implementers enumerates the module-declared named non-interface types
+// implementing iface (by value or pointer receiver).
+func implementers(modulePkgs map[*types.Package]*Package, named *types.Named) []*types.Named {
+	iface := named.Underlying().(*types.Interface)
+	var out []*types.Named
+	for tpkg := range modulePkgs {
+		scope := tpkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			n, ok := tn.Type().(*types.Named)
+			if !ok || n == named {
+				continue
+			}
+			if _, isIface := n.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			if types.Implements(n, iface) || types.Implements(types.NewPointer(n), iface) {
+				out = append(out, n)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return typeKey(out[i]) < typeKey(out[j]) })
+	return out
+}
+
+func typeKey(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// bodyPanics reports whether stmts contain a call to panic or to a function
+// named Failf (internal/check's violation panic).
+func bodyPanics(stmts []ast.Stmt) bool {
+	panics := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				name := calleeName(call)
+				if name == "panic" || name == "Failf" {
+					panics = true
+				}
+			}
+			return !panics
+		})
+	}
+	return panics
+}

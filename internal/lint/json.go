@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON emits one JSON object per line per diagnostic — the -json
+// machine-readable mode of cmd/amrlint, consumable by CI annotators a line
+// at a time without buffering the whole report.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, d := range diags {
+		if err := enc.Encode(d); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSON parses a stream written by WriteJSON back into diagnostics.
+func ReadJSON(r io.Reader) ([]Diagnostic, error) {
+	dec := json.NewDecoder(r)
+	var out []Diagnostic
+	for {
+		var d Diagnostic
+		if err := dec.Decode(&d); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding diagnostic %d: %w", len(out), err)
+		}
+		out = append(out, d)
+	}
+}
+
+// Analyzers returns the production analyzer set over the module's default
+// deterministic-core package list.
+func Analyzers() []Analyzer {
+	return []Analyzer{
+		NewDeterminism(nil),
+		MapOrder{},
+		ReqLeak{},
+		SpanPair{},
+		Exhaustive{},
+	}
+}

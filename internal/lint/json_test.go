@@ -1,0 +1,59 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := []Diagnostic{
+		{File: "internal/solver/solver.go", Line: 70, Col: 14, Rule: "determinism",
+			Message: "wall-clock call time.Now in deterministic core package amrtools/internal/solver",
+			Fix:     "derive times from the DES virtual clock"},
+		{File: "internal/lint/waiver.go", Line: 3, Col: 1, Rule: "waiver",
+			Message: "unused waiver for rule maporder: no diagnostic suppressed"},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	// One self-contained JSON object per line: CI annotators consume the
+	// stream a line at a time without buffering the report.
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(in) {
+		t.Fatalf("wrote %d lines for %d diagnostics:\n%s", len(lines), len(in), buf.String())
+	}
+	for i, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("line %d is not a standalone JSON object: %v", i, err)
+		}
+	}
+	out, err := ReadJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestJSONOmitsEmptyFix(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteJSON(&buf, []Diagnostic{{File: "a.go", Line: 1, Col: 1, Rule: "waiver", Message: "m"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "fix") {
+		t.Fatalf("empty fix serialized: %s", buf.String())
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"file":"a.go"}` + "\nnot json\n")); err == nil {
+		t.Fatal("garbage line decoded without error")
+	}
+}

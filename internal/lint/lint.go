@@ -1,0 +1,150 @@
+// Package lint is amrlint: a stdlib-only static analyzer that enforces the
+// repo's determinism and resource-discipline invariants at build time.
+//
+// The experiment tables are this repo's product, and DESIGN.md promises they
+// are bit-identical across machines and harness worker counts. PRs 2-4
+// enforce that promise dynamically — paranoid-mode audits (internal/check)
+// panic when a runtime invariant breaks. This package is the static half:
+// the mistakes that make runs irreproducible (a stray time.Now in the
+// deterministic core, ranging over a map into an ordered sink, a leaked MPI
+// request, an unclosed trace span, a kind-switch that silently drops a new
+// variant) are flagged on every build, before any campaign has to diverge to
+// reveal them.
+//
+// The implementation is deliberately stdlib-only: go/parser, go/ast and
+// go/types with the "source" importer — no golang.org/x/tools. Module
+// packages are parsed and type-checked in dependency order by the loader in
+// load.go; only standard-library imports are delegated to the source
+// importer.
+//
+// Diagnostics can be waived at the site with
+//
+//	//lint:ignore <rule> <reason>
+//
+// either trailing the offending line or on the line directly above it. A
+// waiver that suppresses nothing is itself a diagnostic (rule "waiver"), so
+// stale waivers cannot accumulate. See DESIGN.md §8 for the rule table and
+// the runtime counterpart of each rule.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Diagnostic is one analyzer finding: the position, the stable rule id, the
+// human message, and a suggested fix. It is the unit of amrlint's output in
+// both text and -json modes.
+type Diagnostic struct {
+	// File is the path of the offending file as given to the loader.
+	File string `json:"file"`
+	// Line and Col are the 1-based position of the finding.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Rule is the stable rule id ("determinism", "maporder", "reqleak",
+	// "spanpair", "exhaustive", "waiver").
+	Rule string `json:"rule"`
+	// Message describes the violation.
+	Message string `json:"message"`
+	// Fix is the suggested remediation, when the analyzer has one.
+	Fix string `json:"fix,omitempty"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+	if d.Fix != "" {
+		s += " (fix: " + d.Fix + ")"
+	}
+	return s
+}
+
+// Package is one loaded, type-checked package of the module under analysis.
+type Package struct {
+	// Path is the import path ("amrtools/internal/sim").
+	Path string
+	// Fset positions every file of the load (shared across packages).
+	Fset *token.FileSet
+	// Files are the parsed non-test files, in deterministic (name) order.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type-checker's per-node facts for the files.
+	Info *types.Info
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Pkg *Package
+	// Module holds every loaded module package, for whole-module questions
+	// (e.g. enumerating the implementers of a sealed interface).
+	Module []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos under the given rule.
+func (p *Pass) Reportf(pos token.Pos, rule, fix, format string, args ...interface{}) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
+	})
+}
+
+// TypeOf is a nil-tolerant shorthand for the type of an expression.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object (nil when unresolved).
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.Defs[id]; o != nil {
+		return o
+	}
+	return p.Pkg.Info.Uses[id]
+}
+
+// An Analyzer checks one rule over one package at a time.
+type Analyzer interface {
+	// Name is the stable rule id used in diagnostics and waivers.
+	Name() string
+	// Doc is a one-line description for amrlint's usage text.
+	Doc() string
+	// Run analyzes pass.Pkg, reporting findings through pass.Reportf.
+	Run(pass *Pass)
+}
+
+// Run executes every analyzer over every package, applies waivers, flags
+// unused waivers, and returns the surviving diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, pkg := range pkgs {
+		pass := &Pass{Pkg: pkg, Module: pkgs, diags: &raw}
+		for _, a := range analyzers {
+			a.Run(pass)
+		}
+	}
+	ws := collectWaivers(pkgs)
+	diags := ws.filter(raw)
+	diags = append(diags, ws.unused()...)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}

@@ -1,0 +1,321 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// LoadConfig parameterizes a module load.
+type LoadConfig struct {
+	// Dir is the module root (the directory holding go.mod, or — for
+	// analyzer fixtures — any directory tree of packages).
+	Dir string
+	// Module is the module path used to derive package import paths from
+	// directories. When empty it is read from Dir/go.mod.
+	Module string
+	// Patterns selects the packages to analyze, relative to Dir. "./..."
+	// (the default when empty) selects everything; "./internal/sim/..."
+	// selects a subtree; "./internal/sim" a single package. Packages outside
+	// the patterns are still loaded when analyzed packages depend on them.
+	Patterns []string
+}
+
+// Load parses and type-checks the module's non-test packages in dependency
+// order using only the standard library: module-internal imports resolve to
+// the packages checked earlier in the order, standard-library imports go
+// through go/importer's "source" importer. It returns the packages matching
+// cfg.Patterns, sorted by import path.
+func Load(cfg LoadConfig) ([]*Package, error) {
+	if cfg.Module == "" {
+		mod, err := modulePath(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Module = mod
+	}
+
+	dirs, err := packageDirs(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	byPath := map[string]*parsedPkg{}
+	var order []string
+	for _, dir := range dirs {
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		rel, err := filepath.Rel(cfg.Dir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := cfg.Module
+		if rel != "." {
+			path = cfg.Module + "/" + filepath.ToSlash(rel)
+		}
+		byPath[path] = &parsedPkg{path: path, dir: dir, files: files}
+		order = append(order, path)
+	}
+
+	sorted, err := topoSort(byPath, order, cfg.Module)
+	if err != nil {
+		return nil, err
+	}
+
+	std := importer.ForCompiler(fset, "source", nil)
+	checked := map[string]*Package{}
+	imp := &moduleImporter{module: cfg.Module, local: checked, std: std}
+	var pkgs []*Package
+	for _, path := range sorted {
+		p := byPath[path]
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(path, fset, p.files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+		}
+		pkg := &Package{Path: path, Fset: fset, Files: p.files, Types: tpkg, Info: info}
+		checked[path] = pkg
+		pkgs = append(pkgs, pkg)
+	}
+
+	selected := pkgs[:0:0]
+	for _, pkg := range pkgs {
+		if matchPatterns(cfg, byPath[pkg.Path].dir) {
+			selected = append(selected, pkg)
+		}
+	}
+	sort.Slice(selected, func(i, j int) bool { return selected[i].Path < selected[j].Path })
+	return selected, nil
+}
+
+// modulePath reads the module declaration from dir/go.mod.
+func modulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", fmt.Errorf("lint: reading module path: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module declaration in %s/go.mod", dir)
+}
+
+// packageDirs walks root for directories that may hold Go packages, skipping
+// hidden directories and testdata trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parseDir parses the non-test .go files of one directory, in name order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if !buildIncluded(src) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, src,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// buildIncluded evaluates a file's //go:build line (if any) against the
+// default build configuration: current GOOS/GOARCH, the gc toolchain, and
+// no extra tags — matching what `go build ./...` compiles. Legacy
+// "// +build" lines without a //go:build equivalent are not supported (gofmt
+// has rewritten them since Go 1.17).
+func buildIncluded(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return true // malformed: let the type-checker complain
+			}
+			return expr.Eval(defaultBuildTag)
+		}
+		// The build line must precede the package clause.
+		if strings.HasPrefix(line, "package ") {
+			break
+		}
+	}
+	return true
+}
+
+func defaultBuildTag(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" || tag == "unix" {
+		return true
+	}
+	// goX.Y release tags up to the toolchain's own version.
+	if strings.HasPrefix(tag, "go1.") {
+		return true
+	}
+	return false
+}
+
+// parsedPkg is one parsed-but-not-yet-checked package.
+type parsedPkg struct {
+	path  string // import path
+	dir   string
+	files []*ast.File
+}
+
+// topoSort orders package paths so every module-internal import precedes its
+// importer.
+func topoSort(byPath map[string]*parsedPkg, order []string, module string) ([]string, error) {
+	sort.Strings(order)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := map[string]int{}
+	var sorted []string
+	var visit func(path string, from string) error
+	visit = func(path, from string) error {
+		switch state[path] {
+		case black:
+			return nil
+		case gray:
+			return fmt.Errorf("lint: import cycle through %s (from %s)", path, from)
+		}
+		state[path] = gray
+		p := byPath[path]
+		var imps []string
+		for _, f := range p.files {
+			for _, spec := range f.Imports {
+				ipath := strings.Trim(spec.Path.Value, `"`)
+				if ipath == module || strings.HasPrefix(ipath, module+"/") {
+					imps = append(imps, ipath)
+				}
+			}
+		}
+		sort.Strings(imps)
+		for _, ipath := range imps {
+			if _, ok := byPath[ipath]; !ok {
+				return fmt.Errorf("lint: %s imports %s, which has no source under the module root", path, ipath)
+			}
+			if err := visit(ipath, path); err != nil {
+				return err
+			}
+		}
+		state[path] = black
+		sorted = append(sorted, path)
+		return nil
+	}
+	for _, path := range order {
+		if err := visit(path, ""); err != nil {
+			return nil, err
+		}
+	}
+	return sorted, nil
+}
+
+// moduleImporter resolves module-internal imports from the already-checked
+// set and delegates everything else to the standard-library source importer.
+type moduleImporter struct {
+	module string
+	local  map[string]*Package
+	std    types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if path == m.module || strings.HasPrefix(path, m.module+"/") {
+		pkg, ok := m.local[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: internal import %s not yet checked (loader ordering bug)", path)
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// matchPatterns reports whether dir is selected by cfg.Patterns.
+func matchPatterns(cfg LoadConfig, dir string) bool {
+	if len(cfg.Patterns) == 0 {
+		return true
+	}
+	rel, err := filepath.Rel(cfg.Dir, dir)
+	if err != nil {
+		return false
+	}
+	rel = filepath.ToSlash(rel)
+	for _, pat := range cfg.Patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		if pat == "..." || pat == "" {
+			return true
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == sub || strings.HasPrefix(rel, sub+"/") {
+				return true
+			}
+			continue
+		}
+		if rel == pat {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// sinkMethods are call names whose invocation inside a map-range body means
+// iteration order reaches an ordered sink: telemetry table/recorder appends,
+// writer and printer families, and encoders. One row per iteration in a
+// map-dependent order is exactly the bug that makes colfiles differ between
+// two runs of the same binary.
+var sinkMethods = map[string]bool{
+	"Append": true, "Emit": true, "EmitRaw": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Encode": true,
+}
+
+// sortPackages are the packages whose calls count as establishing a
+// deterministic order over a collected slice.
+var sortPackages = map[string]bool{"sort": true, "slices": true}
+
+// MapOrder flags `range` over a map whose body feeds an ordered sink.
+// Go's map iteration order is deliberately randomized, so each such loop
+// emits rows in a different order on every run — the canonical
+// reproducibility bug in output paths.
+//
+// Two shapes are accepted without a waiver:
+//   - bodies that only write back into maps (order-independent), and
+//   - the collect-then-sort idiom: the body only appends to local slices,
+//     and every such slice later flows into a sort/slices call in the same
+//     function before anything else consumes it.
+//
+// Order-insensitive reductions (sums, maxima, percentile inputs) over
+// appended slices need a waiver naming why order cannot matter.
+//
+// Runtime counterpart: the bit-identical table assertions of the j1-vs-jN
+// and differential campaigns, which catch the divergence after the fact.
+type MapOrder struct{}
+
+func (MapOrder) Name() string { return "maporder" }
+func (MapOrder) Doc() string {
+	return "flag map iteration feeding ordered sinks (tables, writers, appends) without sorting"
+}
+
+func (MapOrder) Run(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fn.Body)
+		}
+	}
+}
+
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+
+		var appended []types.Object // local slices the body appends to
+		sinkName := ""
+		var sinkPos ast.Node
+		walkStack(rng.Body, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || sinkName != "" {
+				return
+			}
+			if isAppend(pass, call) {
+				if tgt := appendTarget(pass, call, stack); tgt != nil {
+					appended = append(appended, tgt)
+					return
+				}
+				sinkName, sinkPos = "append", call
+				return
+			}
+			if name := calleeName(call); sinkMethods[name] {
+				sinkName, sinkPos = name, call
+			}
+		})
+
+		switch {
+		case sinkName != "":
+			pass.Reportf(sinkPos.Pos(), "maporder",
+				"collect the keys, sort them, and iterate the sorted slice",
+				"map iteration reaches ordered sink %s: row order depends on Go's randomized map order", sinkName)
+		case len(appended) > 0:
+			for _, obj := range appended {
+				if !sortedAfter(pass, body, rng, obj) {
+					pass.Reportf(rng.Pos(), "maporder",
+						"sort the collected slice before it is consumed, or waive with the reason order cannot matter",
+						"map iteration appends to %q, which is never sorted in this function", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeName extracts the bare function or method name of a call.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// sortedAfter reports whether obj appears as an argument (possibly nested)
+// of a sort/slices call, or a call whose name contains "Sort", positioned
+// after the range statement in the same function body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(pass, call) {
+			return true
+		}
+		for _, a := range call.Args {
+			used := false
+			ast.Inspect(a, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.Pkg.Info.Uses[id] == obj {
+					used = true
+				}
+				return !used
+			})
+			if used {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isSortCall recognizes calls that establish a deterministic order: the
+// sort and slices packages, plus local helpers following the sortXxx/SortXxx
+// naming convention (sortFindings, SortBy).
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			if pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName); ok {
+				return sortPackages[pn.Imported().Path()]
+			}
+		}
+		return sortHelperName(fun.Sel.Name)
+	case *ast.Ident:
+		return sortHelperName(fun.Name)
+	}
+	return false
+}
+
+func sortHelperName(name string) bool {
+	return strings.HasPrefix(name, "sort") || strings.HasPrefix(name, "Sort")
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ReqLeak flags Isend/Irecv results that can never reach a Wait: a
+// *Request discarded on the floor, assigned to the blank identifier, or
+// parked in a local (or accumulated into a local slice) that the function
+// never touches again. A request that escapes — returned, stored into a
+// struct, or passed to any call — is assumed handled.
+//
+// Runtime counterpart: the freed-marker panic in mpi (double Wait) and
+// AuditTeardown's send-completion check, which catch leaks only on runs
+// where the leaked request's message actually mattered; this rule catches
+// the shape on every build.
+type ReqLeak struct{}
+
+func (ReqLeak) Name() string { return "reqleak" }
+func (ReqLeak) Doc() string {
+	return "every Isend/Irecv *Request must reach a Wait/WaitAll or escape the function"
+}
+
+func (ReqLeak) Run(pass *Pass) {
+	mustConsume(pass, "reqleak",
+		"Wait on the request (or WaitAll on the slice collecting it)",
+		isRequestProducer, "Isend/Irecv request")
+}
+
+// isRequestProducer matches method calls named Isend or Irecv returning a
+// pointer to a type named Request. Matching by name and result shape keeps
+// the rule applicable to the fixture packages as well as internal/mpi.
+func isRequestProducer(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Isend" && sel.Sel.Name != "Irecv") {
+		return false
+	}
+	t := pass.TypeOf(call)
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Request"
+}

@@ -1,0 +1,12 @@
+package core
+
+// Deterministic is clean core code — a pure reduction with no wall clock,
+// ambient randomness, environment lookups, or goroutines — and must produce
+// no diagnostics.
+func Deterministic(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,52 @@
+// Package core is a stand-in deterministic-core package for the amrlint
+// fixture suite: TestFixtures runs the determinism analyzer with
+// fixturemod/core as its core set, so every forbidden construct below must
+// produce exactly the diagnostic named by its want marker.
+package core
+
+import (
+	"math/rand" // want `import of math/rand in deterministic core package fixturemod/core`
+	"os"
+	"time"
+)
+
+// Clock trips every determinism trigger once.
+func Clock() float64 {
+	t := time.Now()                 // want `wall-clock call time.Now in deterministic core package fixturemod/core`
+	home, _ := os.LookupEnv("HOME") // want `environment lookup os.LookupEnv in deterministic core package fixturemod/core`
+	go drain()                      // want `goroutine spawn in deterministic core package fixturemod/core`
+	_ = home
+	return rand.Float64() + float64(t.UnixNano())
+}
+
+func drain() {}
+
+// clockFn shows a bare stored reference — not just a call — is flagged.
+var clockFn = time.Now // want `wall-clock call time.Now in deterministic core package fixturemod/core`
+
+var _ = clockFn
+
+// Waived shows the trailing-waiver form: both wall-clock calls are
+// suppressed and both waivers count as used. Deleting either waiver makes
+// the fixture suite fail with a new unexpected diagnostic.
+func Waived() time.Duration {
+	start := time.Now()      //lint:ignore determinism fixture: telemetry-only wall clock
+	return time.Since(start) //lint:ignore determinism fixture: telemetry-only wall clock
+}
+
+// WaivedStandalone shows the standalone form covering the next line.
+func WaivedStandalone() {
+	//lint:ignore determinism fixture: standalone waiver covers the next line
+	time.Sleep(0)
+}
+
+// unusedWaiver demonstrates that a waiver suppressing nothing is itself
+// flagged under the non-waivable "waiver" rule.
+var unusedWaiver = 1 //lint:ignore determinism fixture: suppresses nothing // want `unused waiver for rule determinism`
+
+// Malformed demonstrates a directive missing its reason.
+func Malformed() {
+	//lint:ignore determinism
+	// want-prev `malformed waiver: want //lint:ignore <rule> <reason>`
+	_ = unusedWaiver
+}

@@ -1,0 +1,101 @@
+// Package enums exercises the exhaustive-switch rule on a closed constant
+// set and on a sealed interface.
+package enums
+
+import "fmt"
+
+// Kind is a closed enum: three variants plus a numKinds sentinel, which
+// does not count as a variant.
+type Kind uint8
+
+// The Kind variants.
+const (
+	KindCompute Kind = iota
+	KindSend
+	KindWait
+	numKinds // sentinel terminator, excluded from coverage
+)
+
+var _ = numKinds
+
+// Missing omits KindWait with no default.
+func Missing(k Kind) string {
+	switch k { // want `switch over Kind misses variants KindWait and has no default`
+	case KindCompute:
+		return "compute"
+	case KindSend:
+		return "send"
+	}
+	return ""
+}
+
+// Absorbed hides the hole behind a silent default.
+func Absorbed(k Kind) string {
+	switch k { // want `switch over Kind misses variants KindWait behind a non-panicking default`
+	case KindCompute:
+		return "compute"
+	case KindSend:
+		return "send"
+	default:
+		return "?"
+	}
+}
+
+// Covered names every variant.
+func Covered(k Kind) string {
+	switch k {
+	case KindCompute:
+		return "compute"
+	case KindSend:
+		return "send"
+	case KindWait:
+		return "wait"
+	}
+	return ""
+}
+
+// Guarded has a hole but panics on it, which is accepted.
+func Guarded(k Kind) string {
+	switch k {
+	case KindCompute, KindSend:
+		return "busy"
+	default:
+		panic(fmt.Sprintf("enums: unknown kind %d", k))
+	}
+}
+
+// event is a sealed interface: the unexported method closes the implementer
+// set to this module.
+type event interface{ isEvent() }
+
+type sendEvent struct{}
+type recvEvent struct{}
+type tickEvent struct{}
+
+func (sendEvent) isEvent() {}
+func (recvEvent) isEvent() {}
+func (tickEvent) isEvent() {}
+
+// Dispatch misses tickEvent with no default.
+func Dispatch(e event) string {
+	switch e.(type) { // want `switch over event misses variants tickEvent and has no default`
+	case sendEvent:
+		return "send"
+	case recvEvent:
+		return "recv"
+	}
+	return ""
+}
+
+// DispatchAll covers the full implementer set.
+func DispatchAll(e event) string {
+	switch e.(type) {
+	case sendEvent:
+		return "send"
+	case recvEvent:
+		return "recv"
+	case tickEvent:
+		return "tick"
+	}
+	return ""
+}

@@ -1,0 +1,60 @@
+// Package maporder exercises the map-iteration-order rule: sinks inside map
+// ranges, the collect-then-sort idiom, and order-independent write-backs.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is a minimal ordered sink with an Append method.
+type Table struct{ rows []string }
+
+// Append records one row; row order is the table's meaning.
+func (t *Table) Append(row string) { t.rows = append(t.rows, row) }
+
+// EmitUnsorted feeds an ordered sink from inside a map range; the diagnostic
+// lands on the sink call.
+func EmitUnsorted(m map[string]int, t *Table) {
+	for k := range m {
+		t.Append(k) // want `map iteration reaches ordered sink Append`
+	}
+}
+
+// PrintUnsorted hits the printer family of sinks.
+func PrintUnsorted(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration reaches ordered sink Println`
+	}
+}
+
+// CollectNoSort appends to a local slice and never sorts it; the diagnostic
+// lands on the range statement.
+func CollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration appends to "keys", which is never sorted`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CollectThenSort is the blessed idiom: collect, sort, then consume.
+func CollectThenSort(m map[string]int, t *Table) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.Append(k)
+	}
+}
+
+// WriteBack only writes into another map — order-independent, no diagnostic.
+func WriteBack(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}

@@ -1,0 +1,8 @@
+// Package noncore shows the determinism rule is scoped: wall-clock use
+// outside the configured core set is legal and produces no diagnostics.
+package noncore
+
+import "time"
+
+// Stamp is a legitimate wall-clock read in a non-core package.
+func Stamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,64 @@
+// Package reqleak exercises the request-leak rule against a miniature of
+// the internal/mpi surface: Isend/Irecv return *Request, Wait/WaitAll
+// retire them. The analyzer matches by method name and result shape, so no
+// import of the real mpi package is needed.
+package reqleak
+
+// Request mirrors mpi.Request's role in the rule.
+type Request struct{ done bool }
+
+// Wait retires a request.
+func (r *Request) Wait() { r.done = true }
+
+// Comm produces requests.
+type Comm struct{}
+
+// Isend posts a send and returns its request.
+func (Comm) Isend(dst int) *Request { return &Request{} }
+
+// Irecv posts a receive and returns its request.
+func (Comm) Irecv(src int) *Request { return &Request{} }
+
+// WaitAll retires a batch of requests.
+func WaitAll(rs []*Request) {
+	for _, r := range rs {
+		r.Wait()
+	}
+}
+
+// Discarded drops the request on the floor.
+func Discarded(c Comm) {
+	c.Isend(1) // want `Isend/Irecv request result discarded`
+}
+
+// Blanked hides the leak behind the blank identifier.
+func Blanked(c Comm) {
+	_ = c.Irecv(2) // want `Isend/Irecv request assigned to the blank identifier`
+}
+
+// Accumulated builds a request batch and forgets to WaitAll it: the
+// obligation transferred to the slice is never discharged.
+func Accumulated(c Comm, n int) {
+	var reqs []*Request
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, c.Isend(i)) // want `Isend/Irecv request stored in "reqs" but never consumed`
+	}
+}
+
+// Waited is the canonical correct shape.
+func Waited(c Comm) {
+	r := c.Isend(1)
+	r.Wait()
+}
+
+// Batched transfers the obligation through the slice to WaitAll.
+func Batched(c Comm, n int) {
+	var reqs []*Request
+	for i := 0; i < n; i++ {
+		reqs = append(reqs, c.Irecv(i))
+	}
+	WaitAll(reqs)
+}
+
+// Escapes returns the request: the caller owns the Wait.
+func Escapes(c Comm) *Request { return c.Isend(9) }

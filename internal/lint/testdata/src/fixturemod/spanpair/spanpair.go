@@ -1,0 +1,44 @@
+// Package spanpair exercises the span-pairing rule against a miniature of
+// the internal/trace surface: Begin returns an Open handle that must reach
+// End/EndRaw (defer counts) or escape.
+package spanpair
+
+// Open is the span handle shape the rule matches on.
+type Open struct{ t0 float64 }
+
+// End closes the span.
+func (o Open) End(t1 float64) {}
+
+// EndRaw closes the span without step/epoch stamping.
+func (o Open) EndRaw(t1 float64) {}
+
+// Recorder produces Open handles from Begin.
+type Recorder struct{}
+
+// Begin opens a span.
+func (Recorder) Begin(rank int32, t0 float64) Open { return Open{t0: t0} }
+
+// Dropped opens a span that can never be closed.
+func Dropped(r Recorder) {
+	r.Begin(0, 1.5) // want `span Begin handle result discarded`
+}
+
+// Blanked hides the lost span behind the blank identifier.
+func Blanked(r Recorder) {
+	_ = r.Begin(0, 2.5) // want `span Begin handle assigned to the blank identifier`
+}
+
+// Paired closes the span explicitly.
+func Paired(r Recorder) {
+	sp := r.Begin(1, 0)
+	sp.End(1)
+}
+
+// Deferred closes the span via defer.
+func Deferred(r Recorder) {
+	sp := r.Begin(2, 0)
+	defer sp.EndRaw(3)
+}
+
+// EscapesOpen hands the open span to the caller to close.
+func EscapesOpen(r Recorder) Open { return r.Begin(3, 0) }

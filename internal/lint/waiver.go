@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// A waiver is one //lint:ignore <rule> <reason> comment. It suppresses
+// diagnostics of the named rule on the line it trails, or — when it stands
+// alone on its own line — on the next line. Every waiver must carry a
+// non-empty reason, and a waiver that suppresses nothing is itself reported
+// (rule "waiver"), so removing the offending code without removing its
+// waiver still fails the build.
+type waiver struct {
+	file   string
+	line   int // line of the comment itself
+	rule   string
+	reason string
+	used   bool
+}
+
+// WaiverRule is the rule id under which malformed and unused waivers are
+// reported. It is not waivable: a waiver comment cannot excuse another
+// waiver comment.
+const WaiverRule = "waiver"
+
+// waiverSet indexes waivers by file.
+type waiverSet struct {
+	byFile map[string][]*waiver
+	broken []Diagnostic // malformed //lint:ignore comments
+}
+
+// collectWaivers scans every file's comments for //lint:ignore directives.
+func collectWaivers(pkgs []*Package) *waiverSet {
+	ws := &waiverSet{byFile: map[string][]*waiver{}}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						ws.broken = append(ws.broken, Diagnostic{
+							File: pos.Filename, Line: pos.Line, Col: pos.Column,
+							Rule:    WaiverRule,
+							Message: "malformed waiver: want //lint:ignore <rule> <reason>",
+							Fix:     "state the rule id and a one-line reason",
+						})
+						continue
+					}
+					ws.add(&waiver{
+						file:   pos.Filename,
+						line:   pos.Line,
+						rule:   fields[0],
+						reason: strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+func (ws *waiverSet) add(w *waiver) {
+	ws.byFile[w.file] = append(ws.byFile[w.file], w)
+}
+
+// covers reports whether w suppresses a diagnostic of the given rule at
+// file:line.
+func (w *waiver) covers(rule, file string, line int) bool {
+	if w.rule != rule || w.file != file {
+		return false
+	}
+	// A waiver covers its own line (trailing form) and the following line
+	// (standalone form). Covering both keeps the directive usable without
+	// the scanner having to know which form it is.
+	return line == w.line || line == w.line+1
+}
+
+// filter drops waived diagnostics, marking the waivers that fired.
+func (ws *waiverSet) filter(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Rule == WaiverRule {
+			out = append(out, d)
+			continue
+		}
+		waived := false
+		for _, w := range ws.byFile[d.File] {
+			if w.covers(d.Rule, d.File, d.Line) {
+				w.used = true
+				waived = true
+			}
+		}
+		if !waived {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// unused reports every waiver that suppressed nothing, plus malformed ones.
+func (ws *waiverSet) unused() []Diagnostic {
+	out := append([]Diagnostic(nil), ws.broken...)
+	files := make([]string, 0, len(ws.byFile))
+	for f := range ws.byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		for _, w := range ws.byFile[f] {
+			if !w.used {
+				out = append(out, Diagnostic{
+					File: w.file, Line: w.line, Col: 1,
+					Rule:    WaiverRule,
+					Message: "unused waiver for rule " + w.rule + ": no diagnostic suppressed",
+					Fix:     "delete the //lint:ignore comment",
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,5 +1,7 @@
 package mesh
 
+import "sort"
+
 // directions enumerates the 26 neighbor offsets of a block in 3D:
 // 6 faces, 12 edges, 8 vertices.
 var directions = func() [][3]int {
@@ -105,6 +107,12 @@ func (m *Mesh) UniqueNeighbors(id BlockID) []Neighbor {
 	for id, k := range strongest {
 		out = append(out, Neighbor{ID: id, Kind: k})
 	}
+	// The strongest-contact map iterates in randomized order; sort by SFC
+	// key so the neighbor list (and any float reduction over it) is
+	// identical across runs.
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].ID.Key(m.maxLevel) < out[j].ID.Key(m.maxLevel)
+	})
 	return out
 }
 

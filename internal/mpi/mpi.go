@@ -446,6 +446,7 @@ func (c *Comm) Barrier() {
 	w := c.w
 	b := w.joinCollective("barrier", c.rank)
 	arrivedAt := c.p.Now()
+	sp := w.tracer.Begin(int32(c.rank), trace.Barrier, float64(arrivedAt))
 	if b.arrived == w.nranks {
 		w.barrier = nil // next Barrier call starts a new round
 		release := w.net.CollectiveLatency(w.nranks)
@@ -454,10 +455,7 @@ func (c *Comm) Barrier() {
 	c.p.Await(&b.fut)
 	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
 	w.depart(b)
-	if tr := w.tracer; tr != nil {
-		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Barrier,
-			T0: float64(arrivedAt), T1: float64(c.p.Now()), Peer: -1, Tag: -1})
-	}
+	sp.End(float64(c.p.Now()))
 }
 
 // AllreduceSum performs a blocking sum-allreduce over all ranks: every rank
@@ -471,6 +469,7 @@ func (c *Comm) AllreduceSum(v float64) float64 {
 	b := w.joinCollective("allreduce", c.rank)
 	b.sum += v
 	arrivedAt := c.p.Now()
+	sp := w.tracer.Begin(int32(c.rank), trace.Allreduce, float64(arrivedAt))
 	if b.arrived == w.nranks {
 		w.barrier = nil
 		release := 2 * w.net.CollectiveLatency(w.nranks)
@@ -480,10 +479,7 @@ func (c *Comm) AllreduceSum(v float64) float64 {
 	sum := b.sum
 	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
 	w.depart(b)
-	if tr := w.tracer; tr != nil {
-		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Allreduce,
-			T0: float64(arrivedAt), T1: float64(c.p.Now()), Peer: -1, Tag: -1})
-	}
+	sp.End(float64(c.p.Now()))
 	return sum
 }
 

@@ -245,6 +245,7 @@ func (c CDP) assignChunked(costs []float64, nranks int) Assignment {
 		}
 		bLo, bHi := bounds[k], bounds[k+1]
 		wg.Add(1)
+		//lint:ignore determinism deterministic fork-join: fixed chunk partition, each goroutine writes a disjoint range of a, WaitGroup barrier before any read
 		go func(bLo, bHi, rankLo, ranks int) {
 			defer wg.Done()
 			if bHi <= bLo {

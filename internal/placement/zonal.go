@@ -58,6 +58,7 @@ func (z Zonal) Assign(costs []float64, nranks int) Assignment {
 		}
 		bLo, bHi := bounds[zone], bounds[zone+1]
 		wg.Add(1)
+		//lint:ignore determinism deterministic fork-join: zones partition the block range, each goroutine writes a disjoint slice of a, WaitGroup barrier before any read
 		go func(bLo, bHi, rankLo, ranks int) {
 			defer wg.Done()
 			if bHi <= bLo {

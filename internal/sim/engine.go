@@ -248,8 +248,10 @@ func (e *Engine) Step() bool {
 		b.proc.run()
 	case evFuture:
 		b.fut.Complete(e)
-	default: // evMsg
+	case evMsg:
 		e.sink.DeliverMsg(b.src, b.dst, b.tag, b.bytes, b.local)
+	default:
+		panic("sim: unknown event kind")
 	}
 	return true
 }

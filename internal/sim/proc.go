@@ -47,6 +47,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		hand: make(chan struct{}),
 	}
 	e.procs = append(e.procs, p)
+	//lint:ignore determinism DES coroutine: the hand channel keeps exactly one goroutine runnable at a time, so interleaving is fixed by the event order
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {

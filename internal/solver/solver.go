@@ -5,13 +5,19 @@
 // Gurobi is closed source and unavailable here; this solver is the
 // substitution: an exact branch-and-bound over block→rank assignments with
 // an LPT incumbent, descending-cost branching, load-based symmetry breaking,
-// and the standard makespan lower bounds. Within its time budget it either
+// and the standard makespan lower bounds. Within its node budget it either
 // proves LPT-quality solutions optimal or returns the best incumbent found.
+//
+// The budget is a count of explored branch-and-bound nodes, not a wall-clock
+// deadline: the search visits exactly the same nodes in exactly the same
+// order on every machine, so solver tables are bit-identical across hosts
+// and runs. (An earlier version used a time.Now deadline; its results
+// depended on machine speed and load, which amrlint's determinism rule now
+// forbids in this package.)
 package solver
 
 import (
 	"sort"
-	"time"
 
 	"amrtools/internal/placement"
 )
@@ -23,15 +29,17 @@ type Result struct {
 	// Makespan is the maximum rank load under Assignment.
 	Makespan float64
 	// Optimal reports whether the search completed (proved optimality)
-	// within the time budget.
+	// within the node budget.
 	Optimal bool
-	// Nodes is the number of branch-and-bound nodes explored.
+	// Nodes is the number of branch-and-bound nodes explored. Deterministic:
+	// two Solve calls on the same input report the same count.
 	Nodes int64
 }
 
-// Solve minimizes makespan exactly, stopping early when the time budget
-// expires. It panics if nranks <= 0.
-func Solve(costs []float64, nranks int, budget time.Duration) Result {
+// Solve minimizes makespan exactly, stopping early once maxNodes
+// branch-and-bound nodes have been explored (maxNodes <= 0 means no limit:
+// search to proven optimality). It panics if nranks <= 0.
+func Solve(costs []float64, nranks int, maxNodes int64) Result {
 	if nranks <= 0 {
 		panic("solver: nranks <= 0")
 	}
@@ -67,22 +75,21 @@ func Solve(costs []float64, nranks int, budget time.Duration) Result {
 		return Result{Assignment: bestAssign, Makespan: best, Optimal: true, Nodes: 0}
 	}
 
-	deadline := time.Now().Add(budget)
 	loads := make([]float64, nranks)
 	assign := make(placement.Assignment, n)
 	var nodes int64
-	timedOut := false
+	exhausted := false
 	provedOptimal := false
 	const eps = 1e-12
 
 	var rec func(pos int, curMax float64)
 	rec = func(pos int, curMax float64) {
-		if timedOut || provedOptimal {
+		if exhausted || provedOptimal {
 			return
 		}
 		nodes++
-		if nodes&0x3ff == 0 && time.Now().After(deadline) {
-			timedOut = true
+		if maxNodes > 0 && nodes >= maxNodes {
+			exhausted = true
 			return
 		}
 		if curMax >= best-eps {
@@ -118,7 +125,7 @@ func Solve(costs []float64, nranks int, budget time.Duration) Result {
 			}
 			rec(pos+1, max)
 			loads[r] = newLoad - c
-			if timedOut || provedOptimal {
+			if exhausted || provedOptimal {
 				return
 			}
 		}
@@ -128,7 +135,7 @@ func Solve(costs []float64, nranks int, budget time.Duration) Result {
 	return Result{
 		Assignment: bestAssign,
 		Makespan:   best,
-		Optimal:    !timedOut,
+		Optimal:    !exhausted,
 		Nodes:      nodes,
 	}
 }

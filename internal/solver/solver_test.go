@@ -2,16 +2,19 @@ package solver
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
-	"time"
 
 	"amrtools/internal/placement"
 	"amrtools/internal/xrand"
 )
 
+// noLimit lets small test instances search to proven optimality.
+const noLimit = 0
+
 func TestSolveTrivial(t *testing.T) {
-	r := Solve(nil, 4, time.Second)
+	r := Solve(nil, 4, noLimit)
 	if !r.Optimal || r.Makespan != 0 {
 		t.Fatalf("empty solve = %+v", r)
 	}
@@ -20,7 +23,7 @@ func TestSolveTrivial(t *testing.T) {
 func TestSolveKnownInstance(t *testing.T) {
 	// {7,6,5,4,3} on 2 ranks: optimum 13 ({7,6} | {5,4,3} → 13/12 → 13).
 	costs := []float64{7, 6, 5, 4, 3}
-	r := Solve(costs, 2, time.Second)
+	r := Solve(costs, 2, noLimit)
 	if !r.Optimal {
 		t.Fatal("tiny instance not solved to optimality")
 	}
@@ -41,7 +44,7 @@ func TestSolveMatchesBruteForce(t *testing.T) {
 		for i := range costs {
 			costs[i] = 0.5 + rng.Float64()*9
 		}
-		res := Solve(costs, nr, 2*time.Second)
+		res := Solve(costs, nr, noLimit)
 		if !res.Optimal {
 			return false
 		}
@@ -86,7 +89,7 @@ func TestSolverNeverWorseThanLPT(t *testing.T) {
 			costs[i] = rng.Pareto(0.6, 2.5)
 		}
 		lpt := placement.Makespan(costs, placement.LPT{}.Assign(costs, nr), nr)
-		res := Solve(costs, nr, 500*time.Millisecond)
+		res := Solve(costs, nr, 200_000)
 		if res.Makespan > lpt+1e-9 {
 			t.Fatalf("solver %v worse than LPT %v", res.Makespan, lpt)
 		}
@@ -98,9 +101,44 @@ func TestSolverUniformProvedOptimalFast(t *testing.T) {
 	for i := range costs {
 		costs[i] = 1
 	}
-	res := Solve(costs, 8, time.Second)
+	res := Solve(costs, 8, noLimit)
 	if !res.Optimal || res.Makespan != 4 {
 		t.Fatalf("uniform solve = %+v, want optimal makespan 4", res)
+	}
+}
+
+// The regression behind the node-budget change: the old wall-clock deadline
+// made truncated searches machine-speed-dependent — two runs of the same
+// binary on the same input could explore different node counts and return
+// different incumbents, so lptilp tables depended on the host. With an
+// explored-node budget the search is a pure function of its arguments:
+// identical node counts, identical placements, identical makespans, run
+// after run. (This test fails against the time.Duration-budget solver: a
+// 40-block instance is far too large to finish inside any deadline, and the
+// nodes-explored count under a deadline jitters with machine load.)
+func TestSolveDeterministicUnderBudget(t *testing.T) {
+	rng := xrand.New(11)
+	costs := make([]float64, 40)
+	for i := range costs {
+		costs[i] = 0.5 + rng.Float64()*9
+	}
+	const budget = 300_000
+	a := Solve(costs, 7, budget)
+	b := Solve(costs, 7, budget)
+	if a.Optimal {
+		t.Fatal("instance solved to optimality; budget too large for a truncation test")
+	}
+	if a.Nodes != b.Nodes {
+		t.Fatalf("node counts differ across identical runs: %d vs %d", a.Nodes, b.Nodes)
+	}
+	if a.Nodes != budget {
+		t.Fatalf("truncated search explored %d nodes, want exactly the %d budget", a.Nodes, budget)
+	}
+	if a.Makespan != b.Makespan {
+		t.Fatalf("makespans differ across identical runs: %v vs %v", a.Makespan, b.Makespan)
+	}
+	if !reflect.DeepEqual(a.Assignment, b.Assignment) {
+		t.Fatal("assignments differ across identical runs")
 	}
 }
 
@@ -110,10 +148,12 @@ func TestSolverRespectsBudget(t *testing.T) {
 	for i := range costs {
 		costs[i] = 0.5 + rng.Float64()*9
 	}
-	start := time.Now()
-	_ = Solve(costs, 7, 50*time.Millisecond)
-	if elapsed := time.Since(start); elapsed > 2*time.Second {
-		t.Fatalf("solver ran %v past a 50ms budget", elapsed)
+	res := Solve(costs, 7, 50_000)
+	if res.Nodes > 50_000 {
+		t.Fatalf("solver explored %d nodes past a 50k-node budget", res.Nodes)
+	}
+	if res.Optimal {
+		t.Fatal("truncated search claimed optimality")
 	}
 }
 
@@ -123,5 +163,5 @@ func TestSolvePanicsOnBadRanks(t *testing.T) {
 			t.Fatal("nranks=0 did not panic")
 		}
 	}()
-	Solve([]float64{1}, 0, time.Second)
+	Solve([]float64{1}, 0, noLimit)
 }

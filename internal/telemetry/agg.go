@@ -245,8 +245,10 @@ func (t *Table) Render(maxRows int) string {
 				row[i] = fmt.Sprintf("%d", c.ints[r])
 			case Float64:
 				row[i] = fmt.Sprintf("%.6g", c.floats[r])
-			default:
+			case String:
 				row[i] = c.dict[c.strs[r]]
+			default:
+				panic("telemetry: unknown column type")
 			}
 		}
 		cells[r+1] = row

@@ -27,8 +27,10 @@ func (t *Table) WriteCSV(w io.Writer) error {
 				row[i] = strconv.FormatInt(c.ints[r], 10)
 			case Float64:
 				row[i] = strconv.FormatFloat(c.floats[r], 'g', -1, 64)
-			default:
+			case String:
 				row[i] = c.dict[c.strs[r]]
+			default:
+				panic("telemetry: unknown column type")
 			}
 		}
 		if err := cw.Write(row); err != nil {
@@ -84,8 +86,10 @@ func ReadCSV(r io.Reader) (*Table, error) {
 					return nil, fmt.Errorf("telemetry: csv row %d col %q: %v", rowIdx+1, s.Name, err)
 				}
 				vals[i] = v
-			default:
+			case String:
 				vals[i] = rec[i]
+			default:
+				panic("telemetry: unknown column type")
 			}
 		}
 		t.Append(vals...)

@@ -219,8 +219,11 @@ func (t *Table) NumericAt(name string, row int) float64 {
 		return float64(c.ints[row])
 	case Float64:
 		return c.floats[row]
+	case String:
+		return math.NaN()
+	default:
+		panic("telemetry: unknown column type")
 	}
-	return math.NaN()
 }
 
 // ValueAt returns the value at (col, row) as interface{}.
@@ -231,8 +234,10 @@ func (t *Table) ValueAt(name string, row int) interface{} {
 		return c.ints[row]
 	case Float64:
 		return c.floats[row]
-	default:
+	case String:
 		return c.dict[c.strs[row]]
+	default:
+		panic("telemetry: unknown column type")
 	}
 }
 
@@ -291,8 +296,10 @@ func (t *Table) SortBy(name string, desc bool) *Table {
 			return c.ints[a] < c.ints[b]
 		case Float64:
 			return c.floats[a] < c.floats[b]
-		default:
+		case String:
 			return c.dict[c.strs[a]] < c.dict[c.strs[b]]
+		default:
+			panic("telemetry: unknown column type")
 		}
 	}
 	sort.SliceStable(idx, func(i, j int) bool {

@@ -536,6 +536,7 @@ func (p *parser) parseUnary() (Expr, error) {
 
 func (p *parser) parsePrimary() (Expr, error) {
 	t := p.cur()
+	//lint:ignore exhaustive tokEOF falls through to the unexpected-token error below; a truncated query is a user syntax error, not an invariant breach
 	switch t.kind {
 	case tokNumber:
 		v, err := strconv.ParseFloat(t.text, 64)

@@ -165,9 +165,9 @@ func WaitSpikes(spans *telemetry.Table, o Options) []Finding {
 		m[v.ranks[r]] += v.durs[r]
 	}
 	medians := make(map[int64]float64, len(byStep))
-	for step, perRank := range byStep {
+	for step, perRank := range byStep { //lint:ignore maporder order-independent: totals only feeds stats.Median, which sorts internally
 		totals := make([]float64, 0, len(fleet))
-		for rank := range fleet {
+		for rank := range fleet { //lint:ignore maporder order-independent: totals only feeds stats.Median, which sorts internally
 			totals = append(totals, perRank[rank])
 		}
 		medians[step] = stats.Median(totals)
@@ -334,7 +334,7 @@ func Throttling(spans *telemetry.Table, o Options) []Finding {
 	accs := map[int64]*acc{}
 	for _, step := range steps {
 		var fleet []float64
-		for _, m := range compute {
+		for _, m := range compute { //lint:ignore maporder order-independent: fleet only feeds stats.Median, which sorts internally
 			if c, ok := m[step]; ok {
 				fleet = append(fleet, c)
 			}
@@ -417,7 +417,7 @@ func probeRatios(spans *telemetry.Table) map[int64]probePair {
 	}
 	norm := func(m map[int64]float64) {
 		xs := make([]float64, 0, len(m))
-		for _, t := range m {
+		for _, t := range m { //lint:ignore maporder order-independent: xs only feeds stats.Percentile, which sorts internally
 			xs = append(xs, t)
 		}
 		if len(xs) == 0 {
