@@ -29,15 +29,22 @@ race:
 
 # One iteration of every root benchmark (each regenerates a paper table or
 # figure); benchjson tees the text output through and archives the parsed
-# results as BENCH_PR4.json for the CI artifact.
+# results as BENCH_PR6.json for the CI artifact.
 bench:
-	$(GO) test -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out BENCH_PR4.json
+	$(GO) test -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out BENCH_PR6.json
 
 # Delta table between the previous PR's archived benchmark run and the
 # current one: ns/op and allocs/op per benchmark, regressions beyond 10%
 # marked. Advisory — the target never fails the build.
 benchcmp:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR3.json BENCH_PR4.json -threshold 10
+	$(GO) run ./cmd/benchjson -compare BENCH_PR4.json BENCH_PR6.json -threshold 10
+
+# Distributed-forest smoke at the paper-breaking scale: one 64k-rank driver
+# run (plus the 4k/16k lead-ins) with every invariant audit on and a hard
+# per-run timeout as the deadlock net. Serial (-j 1) so the peak heap the
+# recorder reports is the single-run footprint.
+scale-smoke:
+	$(GO) run ./cmd/scalebench -scale -full -paranoid -timeout 20m -j 1
 
 fmt:
 	gofmt -l . && test -z "$$(gofmt -l .)"

@@ -5,36 +5,88 @@
 //
 // Usage:
 //
-//	scalebench [-full] [-seed 42]
+//	scalebench [-full] [-seed 42] [-scale] [-paranoid] [-metrics f.col]
 //
 // Default mode sweeps up to 8K ranks; -full goes to 131072 (the paper's
 // 128K point, where unzoned placement crosses the 50 ms budget and the
 // zonal variant recovers it).
+//
+// -scale switches to the distributed-forest rank-scaling sweep instead:
+// full DES driver runs at 512–8192 ranks (65536 with -full), one root
+// block per rank, reporting the per-rank metadata economy of the
+// distributed mesh — view + plan + directory-shard bytes per rank, the
+// replicated partition size, and ownership-delta record counts. -paranoid
+// runs those simulations with every invariant audit on. -metrics dumps the
+// harness recorder (wall_ms, events, rank_bytes, heap_mb per run) as an
+// amrquery-readable colfile in either mode.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"time"
 
+	"amrtools/internal/check"
+	"amrtools/internal/colfile"
 	"amrtools/internal/experiments"
 	"amrtools/internal/harness"
 )
 
 func main() {
-	full := flag.Bool("full", false, "sweep to 131072 ranks (takes longer)")
+	full := flag.Bool("full", false, "sweep to 131072 ranks (takes longer; 65536 in -scale mode)")
 	seed := flag.Uint64("seed", 42, "cost-sampling seed")
 	workers := flag.Int("j", 0, "parallel runs per campaign (0 = GOMAXPROCS)")
+	scale := flag.Bool("scale", false, "run the distributed-forest rank-scaling sweep (full driver runs)")
+	paranoid := flag.Bool("paranoid", false, "run -scale simulations with the internal/check invariant audits on")
+	metrics := flag.String("metrics", "", "write per-run campaign telemetry to this colfile")
+	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none); a safety net against simulated deadlocks")
 	flag.Parse()
 
+	if *paranoid {
+		check.Force(true)
+	}
+	rec := harness.NewRecorder()
 	opts := experiments.Options{
-		Quick: !*full,
-		Seed:  *seed,
-		Exec:  harness.Exec{Workers: *workers},
+		Quick:    !*full,
+		Seed:     *seed,
+		Paranoid: *paranoid,
+		Exec: harness.Exec{
+			Workers:  *workers,
+			Timeout:  *timeout,
+			Recorder: rec,
+			Progress: func(p harness.Progress) {
+				fmt.Fprintf(os.Stderr, "  [%s] %d/%d done: %s (%s, %v)\n",
+					p.Campaign, p.Done, p.Total, p.ID, p.Status, p.Wall.Round(time.Millisecond))
+			},
+		},
 	}
 
-	fmt.Println("scalebench: normalized makespan (makespan / lower bound, lower is better)")
-	fmt.Print(experiments.Fig7b(opts).Render(0))
-	fmt.Println()
-	fmt.Println("scalebench: placement computation overhead (50 ms budget)")
-	fmt.Print(experiments.Fig7c(opts).Render(0))
+	if *scale {
+		fmt.Println("scalebench: distributed-forest rank scaling (per-rank metadata economy)")
+		fmt.Print(experiments.Scale(opts).Render(0))
+	} else {
+		fmt.Println("scalebench: normalized makespan (makespan / lower bound, lower is better)")
+		fmt.Print(experiments.Fig7b(opts).Render(0))
+		fmt.Println()
+		fmt.Println("scalebench: placement computation overhead (50 ms budget)")
+		fmt.Print(experiments.Fig7c(opts).Render(0))
+	}
+
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := colfile.WriteTable(f, rec.Table(), 256); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "campaign telemetry: %d rows -> %s\n", rec.Table().NumRows(), *metrics)
+	}
 }

@@ -207,38 +207,56 @@ type Result struct {
 	// Table() is the whole-run span stream for trace/diagnose and Perfetto
 	// export.
 	Spans *trace.Recorder
+	// Deltas aggregates the ownership-delta records exchanged at
+	// redistributions — the distributed forest's only metadata traffic when
+	// the mesh or placement changes.
+	Deltas DeltaStats
+	// MaxRankMetaBytes is the largest per-rank metadata footprint observed
+	// across epochs: rank view + communication plan + directory shard. The
+	// scale experiment's claim is that this stays flat as ranks (and with
+	// them global blocks) grow.
+	MaxRankMetaBytes int
+	// PartitionBytes is the replicated SFC-partition splitter footprint,
+	// O(nranks) and independent of global block count.
+	PartitionBytes int
 }
 
-// exchange is one directed boundary message between two blocks.
+// exchange is one directed boundary message between two blocks. Both
+// endpoints derive tag, size, and peer independently from their local views;
+// int32 fields keep 64k-rank plans compact.
 type exchange struct {
-	tag      int
-	from, to int // block SFC indices
-	size     int
+	tag      int32
+	from, to int32 // block global SFC indices
+	peer     int32 // the remote rank (receiver for sends, sender for recvs)
+	size     int32
 }
 
 // epoch is the immutable communication plan between redistributions.
+// leafIDs and assign are the simulation substrate's ground truth (what the
+// collective of ranks jointly knows); each rank's executable state is its
+// rankPlan, built from its RankView alone. sends/recvs cover both ghost
+// exchanges and flux-correction messages (fine block → coarser face
+// neighbor): both carry previous-step data, so both dispatch at step start
+// and are transfer-bound.
 type epoch struct {
-	leafIDs  []mesh.BlockID
-	assign   placement.Assignment
-	blocksOf [][]int // rank → owned block indices (SFC order)
-	// sends/recvs cover both ghost exchanges and flux-correction messages
-	// (fine block → coarser face neighbor): both carry previous-step data,
-	// so both dispatch at step start and are transfer-bound.
-	sends [][]exchange
-	recvs [][]exchange
-	intra []int     // rank → co-located pair count (memcpy exchanges)
-	costs []float64 // cost units used for this epoch's placement
+	leafIDs []mesh.BlockID
+	assign  placement.Assignment
+	plans   []rankPlan
+	costs   []float64 // cost units used for this epoch's placement
 }
 
 // runState is the shared state rank 0 mutates at redistribution barriers.
 type runState struct {
-	cfg       Config
-	paranoid  bool // resolved Config.Paranoid || check.Forced()
-	m         *mesh.Mesh
-	rec       *cost.Recorder
-	ep        *epoch
-	owner     map[mesh.BlockID]int // ownership across epochs, for migration
-	rebCharge []float64            // per-rank rebalance charge for this epoch
+	cfg      Config
+	paranoid bool // resolved Config.Paranoid || check.Forced()
+	m        *mesh.Mesh
+	rec      *cost.Recorder
+	ep       *epoch
+	// dir carries ownership across epochs for migration and inheritance:
+	// the SFC-range-partitioned directory that replaces the replicated
+	// global owner map of the pre-distributed design.
+	dir       *ownerDirectory
+	rebCharge []float64 // per-rank rebalance charge for this epoch
 	// chargePending tells every rank whether the just-finished
 	// redistribution changed the mesh (uniform across ranks, so the
 	// conditional rebalance barrier below stays collective).
@@ -278,7 +296,6 @@ func Run(cfg Config) (*Result, error) {
 		paranoid:  paranoid,
 		m:         mesh.NewUniform(cfg.RootDims[0], cfg.RootDims[1], cfg.RootDims[2], cfg.MaxLevel),
 		rec:       cost.NewRecorder(cfg.CostAlpha),
-		owner:     make(map[mesh.BlockID]int),
 		rebCharge: make([]float64, nranks),
 		res:       &Result{},
 		sizes:     messageSizes(cfg),
@@ -460,19 +477,14 @@ func (st *runState) buildEpoch(costs []float64, nranks int, initial bool) {
 	st.buildEpochWith(assign, costs, nranks, initial)
 }
 
-// inheritAssignment maps every current leaf to its previous owner, falling
-// back to the parent (for freshly refined blocks) or the majority owner of
-// its children (for freshly coarsened ones), and rank 0 as a last resort.
+// inheritAssignment maps every current leaf to its previous owner through
+// the ownership directory: surviving blocks resolve exactly, refined blocks
+// inherit their nearest surviving ancestor, coarsened blocks the majority
+// owner of their children, and rank 0 as a last resort.
 func (st *runState) inheritAssignment(leaves []*mesh.Block, nranks int) placement.Assignment {
 	assign := make(placement.Assignment, len(leaves))
 	for i, b := range leaves {
-		owner, ok := st.owner[b.ID]
-		if !ok && b.ID.Level > 0 {
-			owner, ok = st.owner[b.ID.Parent()]
-		}
-		if !ok && b.ID.Level < st.m.MaxLevel() {
-			owner, ok = childMajorityOwner(st.owner, b.ID)
-		}
+		owner, ok := st.dir.inherit(b.ID)
 		if !ok || owner < 0 || owner >= nranks {
 			owner = 0
 		}
@@ -481,35 +493,9 @@ func (st *runState) inheritAssignment(leaves []*mesh.Block, nranks int) placemen
 	return assign
 }
 
-// childMajorityOwner returns the owner that held the most of id's children,
-// breaking ties toward the earliest child in Z order. A coarsened block's
-// state lives wherever most of its children lived, so that rank is the
-// cheapest inheritor; consulting only Children()[0] mis-attributed the whole
-// merged block — and fell through to rank 0 — whenever that single child's
-// owner was unknown.
-func childMajorityOwner(owner map[mesh.BlockID]int, id mesh.BlockID) (int, bool) {
-	counts := make(map[int]int, 2)
-	var seen []int // owners in first-child order, for the tiebreak
-	for _, c := range id.Children() {
-		o, ok := owner[c]
-		if !ok {
-			continue
-		}
-		if counts[o] == 0 {
-			seen = append(seen, o)
-		}
-		counts[o]++
-	}
-	best, bestN := 0, 0
-	for _, o := range seen {
-		if counts[o] > bestN {
-			best, bestN = o, counts[o]
-		}
-	}
-	return best, bestN > 0
-}
-
-// buildEpochWith rebuilds the communication plan for a given assignment.
+// buildEpochWith rebuilds the communication plan for a given assignment:
+// ownership deltas against the previous directory, per-rank views, per-rank
+// plans, and the new directory, in that order.
 func (st *runState) buildEpochWith(assign placement.Assignment, costs []float64, nranks int, initial bool) {
 	leaves := st.m.Leaves()
 	n := len(leaves)
@@ -517,47 +503,34 @@ func (st *runState) buildEpochWith(assign placement.Assignment, costs []float64,
 		check.Failf("placement", "assignment-valid",
 			"policy %s produced invalid assignment: %v", st.cfg.Policy.Name(), err)
 	}
+	checkTagCapacity(n)
 
 	ep := &epoch{
-		leafIDs:  make([]mesh.BlockID, n),
-		assign:   assign,
-		blocksOf: make([][]int, nranks),
-		sends:    make([][]exchange, nranks),
-		recvs:    make([][]exchange, nranks),
-		intra:    make([]int, nranks),
-		costs:    costs,
+		leafIDs: make([]mesh.BlockID, n),
+		assign:  assign,
+		costs:   costs,
 	}
-	index := make(map[mesh.BlockID]int, n)
 	for i, b := range leaves {
 		ep.leafIDs[i] = b.ID
-		index[b.ID] = i
-	}
-	for i := range leaves {
-		ep.blocksOf[assign[i]] = append(ep.blocksOf[assign[i]], i)
 	}
 
-	// Migration accounting: block moved if its (or its parent's) previous
-	// owner differs. Each moved block costs blockBytes, priced at the path
-	// it actually crosses: intra-node moves ride shared memory, only
-	// inter-node moves pay the fabric — charging everything at remote rates
-	// overstated the rebalance cost of exactly the locality-preserving
-	// policies the PlacementEvery/Fig 6 comparisons are about.
+	// Ownership deltas: a block whose inherited previous owner differs from
+	// its new owner is one handoff record old → new, and its state migrates.
+	// Each moved block costs blockBytes, priced at the path it actually
+	// crosses: intra-node moves ride shared memory, only inter-node moves
+	// pay the fabric — charging everything at remote rates overstated the
+	// rebalance cost of exactly the locality-preserving policies the
+	// PlacementEvery/Fig 6 comparisons are about.
 	blockBytes := st.cfg.BlockCells * st.cfg.BlockCells * st.cfg.BlockCells * st.cfg.NVars * 8
 	migTime := make([]float64, nranks)
-	if len(st.owner) > 0 {
+	oldDir := st.dir
+	if oldDir != nil {
 		rpn := st.cfg.Net.RanksPerNode
 		for i, id := range ep.leafIDs {
-			old, ok := st.owner[id]
-			if !ok && id.Level > 0 {
-				old, ok = st.owner[id.Parent()]
-			}
-			if !ok && st.m.MaxLevel() > id.Level {
-				// Coarsened block: its state lives with the majority of its
-				// children.
-				old, ok = childMajorityOwner(st.owner, id)
-			}
+			old, ok := oldDir.inherit(id)
 			if ok && old != assign[i] && old >= 0 && old < nranks {
 				st.res.Migrations++
+				st.res.Deltas.Handoffs++
 				bw := st.cfg.Net.RemoteBandwidth
 				if old/rpn == assign[i]/rpn {
 					bw = st.cfg.Net.LocalBandwidth
@@ -568,43 +541,42 @@ func (st *runState) buildEpochWith(assign placement.Assignment, costs []float64,
 			}
 		}
 	}
-	st.owner = make(map[mesh.BlockID]int, n)
-	for i, id := range ep.leafIDs {
-		st.owner[id] = assign[i]
-	}
 	for r := 0; r < nranks; r++ {
 		st.rebCharge[r] = st.cfg.PlacementCharge + migTime[r]
 	}
 
-	// Communication plan: one directed exchange per (block, boundary
-	// element partner), plus flux-correction messages (§II-B: a fine block
-	// restricts its previous-step face fluxes to a coarser face neighbor —
-	// the same small-message latency-sensitive P2P pattern as ghosts).
-	// Tags index the global exchange list.
+	// Distributed views and per-rank plans: each rank's plan derives from
+	// its RankView alone (owned blocks + halo), with message tags both
+	// endpoints compute independently. The view build is the substrate pass
+	// standing in for a real code's neighborhood exchange.
+	views := st.m.BuildRankViews(assign, nranks)
 	fluxSize := (st.cfg.BlockCells / 2) * (st.cfg.BlockCells / 2) * st.cfg.NVars * 8
-	tag := 0
-	addExchange := func(i, j, size int) {
-		e := exchange{tag: tag, from: i, to: j, size: size}
-		tag++
-		sr, dr := assign[i], assign[j]
-		if sr == dr {
-			ep.intra[sr]++
-			return
-		}
-		ep.sends[sr] = append(ep.sends[sr], e)
-		ep.recvs[dr] = append(ep.recvs[dr], e)
+	ep.plans = make([]rankPlan, nranks)
+	for r := 0; r < nranks; r++ {
+		ep.plans[r] = buildRankPlan(views[r], st.sizes, fluxSize, st.cfg.NoFluxCorrection)
 	}
-	for i, b := range leaves {
-		for _, nb := range st.m.NeighborsOf(b.ID) {
-			j := index[nb.ID]
-			addExchange(i, j, st.sizes[int(nb.Kind)])
-			if !st.cfg.NoFluxCorrection && nb.Kind == mesh.Face && nb.ID.Level == b.ID.Level-1 {
-				addExchange(i, j, fluxSize)
-			}
+
+	// New ownership directory, and the install records pushing each block's
+	// (key, level, owner) entry to its home rank under the new partition.
+	st.dir = buildDirectory(st.m.Geometry(), ep.leafIDs, assign, nranks)
+	if oldDir != nil {
+		st.res.Deltas.Installs += countInstalls(st.dir)
+	}
+
+	// Metadata telemetry: the largest per-rank footprint this epoch, and
+	// the replicated partition size.
+	if pb := st.dir.part.Bytes(); pb > st.res.PartitionBytes {
+		st.res.PartitionBytes = pb
+	}
+	for r := 0; r < nranks; r++ {
+		b := views[r].Bytes() + ep.plans[r].planBytes() + st.dir.shardBytes(r)
+		if b > st.res.MaxRankMetaBytes {
+			st.res.MaxRankMetaBytes = b
 		}
 	}
+
 	if st.paranoid {
-		st.auditEpoch(ep, costs, nranks)
+		st.auditEpoch(ep, costs, nranks, oldDir)
 	}
 	st.ep = ep
 	st.res.BlockHistory = append(st.res.BlockHistory, n)
@@ -632,7 +604,9 @@ func (st *runState) redistribute(step, nranks int) {
 	} else {
 		var costs []float64
 		if st.cfg.UseMeasuredCosts {
-			costs = st.rec.Costs(leaves)
+			// Gather per-rank cost views (each rank reports only the blocks
+			// it holds by delta inheritance) into the SFC-ordered vector.
+			costs = st.gatherCostViews(leaves, nranks)
 		} else {
 			costs = unitCosts(len(leaves))
 		}
@@ -658,6 +632,7 @@ func (st *runState) rankProgram(c *mpi.Comm, world *mpi.World, prev *mpi.Meter) 
 	scale := st.cfg.CostTimeScale
 	for step := 0; step < st.cfg.Steps; step++ {
 		ep := st.ep
+		plan := &ep.plans[rank]
 		if st.tracer != nil {
 			// Stamp this rank's spans with the step and the current epoch
 			// (redistributions happen between barriers, so every rank sees a
@@ -666,24 +641,25 @@ func (st *runState) rankProgram(c *mpi.Comm, world *mpi.World, prev *mpi.Meter) 
 		}
 		// Boundary exchange carries the previous step's block state, so
 		// sends are ready the moment the step begins. Pre-post every ghost
-		// receive.
-		recvReqs := make([]*mpi.Request, len(ep.recvs[rank]))
-		for i, e := range ep.recvs[rank] {
-			recvReqs[i] = c.Irecv(ep.assign[e.from], e.tag)
+		// receive. The rank executes purely from its own plan: peers and
+		// tags were derived from its local view, never a global table.
+		recvReqs := make([]*mpi.Request, len(plan.recvs))
+		for i, e := range plan.recvs {
+			recvReqs[i] = c.Irecv(int(e.peer), int(e.tag))
 		}
 		var sendReqs []*mpi.Request
 		postSends := func() {
-			for _, e := range ep.sends[rank] {
-				sendReqs = append(sendReqs, c.Isend(ep.assign[e.to], e.tag, e.size))
+			for _, e := range plan.sends {
+				sendReqs = append(sendReqs, c.Isend(int(e.peer), int(e.tag), int(e.size)))
 			}
-			for i := 0; i < ep.intra[rank]; i++ {
+			for i := 0; i < plan.intra; i++ {
 				c.IntraRank()
 			}
 		}
 		compute := func() {
-			for _, b := range ep.blocksOf[rank] {
-				dur := c.Compute(st.cfg.Problem.Cost(ep.leafIDs[b], step) * scale)
-				st.rec.Observe(ep.leafIDs[b], dur/scale)
+			for _, lb := range plan.view.Owned {
+				dur := c.Compute(st.cfg.Problem.Cost(lb.ID, step) * scale)
+				st.rec.Observe(lb.ID, dur/scale)
 			}
 		}
 		tracing := step == st.cfg.TraceStep
@@ -696,20 +672,20 @@ func (st *runState) rankProgram(c *mpi.Comm, world *mpi.World, prev *mpi.Meter) 
 				compute()
 				return
 			}
-			for _, b := range ep.blocksOf[rank] {
+			for _, lb := range plan.view.Owned {
 				t0 := c.Now()
-				dur := c.Compute(st.cfg.Problem.Cost(ep.leafIDs[b], step) * scale)
-				st.rec.Observe(ep.leafIDs[b], dur/scale)
+				dur := c.Compute(st.cfg.Problem.Cost(lb.ID, step) * scale)
+				st.rec.Observe(lb.ID, dur/scale)
 				st.res.Trace.Add(rank, critpath.Compute,
-					fmt.Sprintf("compute b%d", b), t0, c.Now())
+					fmt.Sprintf("compute b%d", lb.Index), t0, c.Now())
 			}
 		}
 		tracedSends := func() {
 			postSends()
 			if tracing {
 				now := c.Now()
-				for _, e := range ep.sends[rank] {
-					st.sendTask[e.tag] = st.res.Trace.Add(rank, critpath.Post,
+				for _, e := range plan.sends {
+					st.sendTask[int(e.tag)] = st.res.Trace.Add(rank, critpath.Post,
 						fmt.Sprintf("send t%d", e.tag), now, now)
 				}
 			}
@@ -721,9 +697,9 @@ func (st *runState) rankProgram(c *mpi.Comm, world *mpi.World, prev *mpi.Meter) 
 			}
 			t0 := c.Now()
 			c.WaitAll(recvReqs)
-			deps := make([]int, 0, len(ep.recvs[rank]))
-			for _, e := range ep.recvs[rank] {
-				if id, ok := st.sendTask[e.tag]; ok {
+			deps := make([]int, 0, len(plan.recvs))
+			for _, e := range plan.recvs {
+				if id, ok := st.sendTask[int(e.tag)]; ok {
 					deps = append(deps, id)
 				}
 			}

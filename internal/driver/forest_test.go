@@ -1,0 +1,91 @@
+package driver
+
+import (
+	"testing"
+
+	"amrtools/internal/mesh"
+	"amrtools/internal/placement"
+)
+
+// TestInheritDeepAncestor is the regression test for the latent global-view
+// assumption the distributed audits flushed out: inheritance used to consult
+// only the immediate parent, so a block created two or more levels below any
+// previously known leaf fell through to the rank-0 fallback instead of
+// inheriting its surviving ancestor's rank. The full ancestor walk must
+// resolve it.
+func TestInheritDeepAncestor(t *testing.T) {
+	m := mesh.NewUniform(2, 1, 1, 2)
+	rootA := m.Leaves()[0].ID
+	rootB := m.Leaves()[1].ID
+	dir := directoryFor(m, map[mesh.BlockID]int{rootA: 3, rootB: 1}, 4)
+
+	// A grandchild of rootA, off the child-0 chain so its normalized key
+	// differs from rootA's and an exact-key lookup cannot mask the walk.
+	gc := rootA.Children()[5].Children()[3]
+	if gc.Level != 2 {
+		t.Fatalf("grandchild level %d, want 2", gc.Level)
+	}
+	if _, ok := dir.lookup(gc); ok {
+		t.Fatal("grandchild must not resolve exactly (it never existed)")
+	}
+	if _, ok := dir.lookup(gc.Parent()); ok {
+		t.Fatal("parent must not resolve either — the gap is two levels deep")
+	}
+	got, ok := dir.inherit(gc)
+	if !ok || got != 3 {
+		t.Fatalf("deep descendant inherited (%d, %v), want rootA's rank (3, true)", got, ok)
+	}
+}
+
+// TestDirectoryLevelDisambiguation: a parent and its first child share a
+// normalized SFC key; the directory's level column must keep them distinct,
+// or a coarsened block would resolve to its first child's record and bypass
+// majority inheritance.
+func TestDirectoryLevelDisambiguation(t *testing.T) {
+	m := mesh.NewUniform(2, 1, 1, 1)
+	root := m.Leaves()[0].ID
+	if err := m.Refine(root); err != nil {
+		t.Fatal(err)
+	}
+	owner := map[mesh.BlockID]int{m.Leaves()[len(m.Leaves())-1].ID: 1}
+	kids := root.Children()
+	owner[kids[0]] = 0
+	for _, c := range kids[1:] {
+		owner[c] = 2
+	}
+	dir := directoryFor(m, owner, 4)
+
+	if o, ok := dir.lookup(kids[0]); !ok || o != 0 {
+		t.Fatalf("child-0 lookup = (%d, %v), want (0, true)", o, ok)
+	}
+	if _, ok := dir.lookup(root); ok {
+		t.Fatal("parent resolved through its first child's record (level column ignored)")
+	}
+	if o, ok := dir.inherit(root); !ok || o != 2 {
+		t.Fatalf("coarsened root inherited (%d, %v), want majority (2, true)", o, ok)
+	}
+}
+
+// TestDirectoryHomeRankBalance: directory records spread across home ranks by
+// the SFC partition, not concentrated wherever the placement policy put the
+// blocks — home load is a metadata-balance property.
+func TestDirectoryHomeRankBalance(t *testing.T) {
+	m := mesh.NewUniform(4, 4, 4, 0)
+	leaves := m.Leaves()
+	ids := make([]mesh.BlockID, len(leaves))
+	assign := make(placement.Assignment, len(leaves)) // everything on rank 0
+	for i, b := range leaves {
+		ids[i] = b.ID
+	}
+	dir := buildDirectory(m.Geometry(), ids, assign, 8)
+	for h := 0; h < 8; h++ {
+		if got := len(dir.shards[h].keys); got != 8 {
+			t.Fatalf("home rank %d holds %d records, want 8 (64 leaves / 8 ranks)", h, got)
+		}
+	}
+	if n := countInstalls(dir); n != 56 {
+		// All blocks owned by rank 0, so every record outside rank 0's own
+		// shard is a remote install.
+		t.Fatalf("countInstalls = %d, want 56", n)
+	}
+}

@@ -34,7 +34,6 @@ func auditState(t *testing.T) *runState {
 		paranoid:  true,
 		m:         mesh.NewUniform(2, 2, 2, 0),
 		rec:       cost.NewRecorder(cfg.CostAlpha),
-		owner:     make(map[mesh.BlockID]int),
 		rebCharge: make([]float64, 8),
 		res:       &Result{},
 		sizes:     messageSizes(cfg),
@@ -45,6 +44,22 @@ func auditState(t *testing.T) *runState {
 	}
 	st.buildEpochWith(ident, unitCosts(8), 8, true)
 	return st
+}
+
+// directoryFor builds an ownership directory holding records for exactly the
+// current leaves present in owner (in SFC order), standing in for a previous
+// epoch's directory in inheritance tests. Leaves absent from owner get no
+// record — the "unknown previous owner" case.
+func directoryFor(m *mesh.Mesh, owner map[mesh.BlockID]int, nranks int) *ownerDirectory {
+	var ids []mesh.BlockID
+	var assign placement.Assignment
+	for _, b := range m.Leaves() {
+		if r, ok := owner[b.ID]; ok {
+			ids = append(ids, b.ID)
+			assign = append(assign, r)
+		}
+	}
+	return buildDirectory(m.Geometry(), ids, assign, nranks)
 }
 
 // --- satellite regressions: coarsening inheritance & migration pricing ---
@@ -66,13 +81,13 @@ func TestInheritAssignmentCoarsenedMajority(t *testing.T) {
 	// A coarsened block whose first child lived on a minority rank must
 	// inherit the majority owner, not the first child's.
 	m, root, other := refineFirstRoot(t)
-	st := &runState{m: m, owner: make(map[mesh.BlockID]int)}
+	owner := map[mesh.BlockID]int{other: 1}
 	kids := root.Children()
-	st.owner[kids[0]] = 0 // minority
+	owner[kids[0]] = 0 // minority
 	for _, c := range kids[1:] {
-		st.owner[c] = 3 // majority
+		owner[c] = 3 // majority
 	}
-	st.owner[other] = 1
+	st := &runState{m: m, dir: directoryFor(m, owner, 4)}
 	if err := m.Coarsen(root); err != nil {
 		t.Fatal(err)
 	}
@@ -92,12 +107,12 @@ func TestInheritAssignmentCoarsenedFirstChildUnknown(t *testing.T) {
 	// When the first child's owner is unknown the majority of the remaining
 	// children must still win — not the rank-0 fallback.
 	m, root, other := refineFirstRoot(t)
-	st := &runState{m: m, owner: make(map[mesh.BlockID]int)}
+	owner := map[mesh.BlockID]int{other: 1}
 	kids := root.Children()
 	for _, c := range kids[1:] {
-		st.owner[c] = 2
+		owner[c] = 2
 	}
-	st.owner[other] = 1
+	st := &runState{m: m, dir: directoryFor(m, owner, 4)}
 	if err := m.Coarsen(root); err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +137,6 @@ func TestMigrationCoarsenedOntoMajorityNotCounted(t *testing.T) {
 		cfg:       cfg,
 		m:         m,
 		rec:       cost.NewRecorder(cfg.CostAlpha),
-		owner:     make(map[mesh.BlockID]int),
 		rebCharge: make([]float64, 2),
 		res:       &Result{},
 		sizes:     messageSizes(cfg),
@@ -233,13 +247,13 @@ func TestParanoidCatchesInvalidAssignmentMidRun(t *testing.T) {
 func TestAuditEpochCatchesDroppedRecv(t *testing.T) {
 	st := auditState(t)
 	ep := st.ep
-	for r := range ep.recvs {
-		if len(ep.recvs[r]) > 0 {
-			ep.recvs[r] = ep.recvs[r][1:] // lose one planned recv
+	for r := range ep.plans {
+		if len(ep.plans[r].recvs) > 0 {
+			ep.plans[r].recvs = ep.plans[r].recvs[1:] // lose one planned recv
 			break
 		}
 	}
-	v, ok := check.Catch(func() { st.auditEpoch(ep, ep.costs, 8) })
+	v, ok := check.Catch(func() { st.auditEpoch(ep, ep.costs, 8, nil) })
 	if !ok {
 		t.Fatal("dropped recv raised no violation")
 	}
@@ -251,13 +265,13 @@ func TestAuditEpochCatchesDroppedRecv(t *testing.T) {
 func TestAuditEpochCatchesUnownedLeaf(t *testing.T) {
 	st := auditState(t)
 	ep := st.ep
-	for r := range ep.blocksOf {
-		if len(ep.blocksOf[r]) > 0 {
-			ep.blocksOf[r] = ep.blocksOf[r][1:] // orphan one leaf
+	for r := range ep.plans {
+		if len(ep.plans[r].view.Owned) > 0 {
+			ep.plans[r].view.Owned = ep.plans[r].view.Owned[1:] // orphan one leaf
 			break
 		}
 	}
-	v, ok := check.Catch(func() { st.auditEpoch(ep, ep.costs, 8) })
+	v, ok := check.Catch(func() { st.auditEpoch(ep, ep.costs, 8, nil) })
 	if !ok {
 		t.Fatal("unowned leaf raised no violation")
 	}
@@ -268,11 +282,84 @@ func TestAuditEpochCatchesUnownedLeaf(t *testing.T) {
 
 func TestAuditEpochCatchesCostLengthMismatch(t *testing.T) {
 	st := auditState(t)
-	v, ok := check.Catch(func() { st.auditEpoch(st.ep, unitCosts(3), 8) })
+	v, ok := check.Catch(func() { st.auditEpoch(st.ep, unitCosts(3), 8, nil) })
 	if !ok {
 		t.Fatal("short cost vector raised no violation")
 	}
 	if v.Layer != "driver" || v.Invariant != "cost-length" {
 		t.Fatalf("violation = %v, want driver/cost-length", v)
+	}
+}
+
+// --- violation injection: distributed-forest audits ---
+
+func TestAuditEpochCatchesDirectoryOwnerDisagreement(t *testing.T) {
+	st := auditState(t)
+	// Flip one authoritative directory record to the wrong rank: the two-hop
+	// lookup now disagrees with the substrate assignment.
+	for h := range st.dir.shards {
+		if len(st.dir.shards[h].owners) > 0 {
+			st.dir.shards[h].owners[0] = (st.dir.shards[h].owners[0] + 1) % 8
+			break
+		}
+	}
+	v, ok := check.Catch(func() { st.auditEpoch(st.ep, st.ep.costs, 8, nil) })
+	if !ok {
+		t.Fatal("corrupted directory record raised no violation")
+	}
+	if v.Layer != "driver" || v.Invariant != "sfc-owner-agreement" {
+		t.Fatalf("violation = %v, want driver/sfc-owner-agreement", v)
+	}
+}
+
+func TestAuditEpochCatchesStaleHaloOwner(t *testing.T) {
+	st := auditState(t)
+	ep := st.ep
+	// Point one halo entry's cached owner at the viewing rank itself — a
+	// stale view that would route that halo block's messages wrongly.
+	for r := range ep.plans {
+		if v := ep.plans[r].view; len(v.Halo) > 0 {
+			v.Halo[0].Owner = int32(r)
+			break
+		}
+	}
+	v, ok := check.Catch(func() { st.auditEpoch(ep, ep.costs, 8, nil) })
+	if !ok {
+		t.Fatal("stale halo owner raised no violation")
+	}
+	if v.Layer != "driver" || v.Invariant != "halo-consistency" {
+		t.Fatalf("violation = %v, want driver/halo-consistency", v)
+	}
+}
+
+func TestAuditEpochCatchesDeltaLedgerAsymmetry(t *testing.T) {
+	st := auditState(t)
+	ep := st.ep
+	// Graft one of rank 0's owned blocks into rank 1's view: rank 1 now
+	// believes it received a handoff the substrate never sent.
+	moved := ep.plans[0].view.Owned[0]
+	ep.plans[1].view.Owned = append(ep.plans[1].view.Owned, moved)
+	ep.plans[0].view.Owned = ep.plans[0].view.Owned[1:]
+	v, ok := check.Catch(func() { st.auditEpoch(ep, ep.costs, 8, st.dir) })
+	if !ok {
+		t.Fatal("asymmetric handoff ledger raised no violation")
+	}
+	if v.Layer != "driver" || v.Invariant != "delta-symmetry" {
+		t.Fatalf("violation = %v, want driver/delta-symmetry", v)
+	}
+}
+
+func TestAuditEpochCatchesPlanDivergence(t *testing.T) {
+	st := auditState(t)
+	ep := st.ep
+	// One phantom intra-rank copy: invisible to symmetry (no message), but
+	// the global-reference replay must notice the plan diverged.
+	ep.plans[0].intra++
+	v, ok := check.Catch(func() { st.auditEpoch(ep, ep.costs, 8, nil) })
+	if !ok {
+		t.Fatal("diverged plan raised no violation")
+	}
+	if v.Layer != "driver" || v.Invariant != "plan-equivalence" {
+		t.Fatalf("violation = %v, want driver/plan-equivalence", v)
 	}
 }

@@ -118,6 +118,7 @@ func (o Options) sedovSpec(id string, cfg driver.Config) harness.Spec[*driver.Re
 				return nil, err
 			}
 			m.AddEvents(res.Events)
+			m.SetRankBytes(int64(res.MaxRankMetaBytes))
 			return res, nil
 		},
 	}

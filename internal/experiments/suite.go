@@ -68,6 +68,8 @@ func Suite() []Experiment {
 			func(o Options) []NamedTable { return one(HilbertOrderStudy(o)) }},
 		{"neighborhood", "Extension: neighborhood-collective aggregation vs raw P2P",
 			func(o Options) []NamedTable { return one(NeighborhoodCollectives(o)) }},
+		{"scale", "Extension: distributed-forest rank scaling (per-rank metadata economy)",
+			func(o Options) []NamedTable { return one(Scale(o)) }},
 		{"differential", "Differential audit: CPL0 = CDP, CPL100 = LPT, -j identity (paranoid)",
 			func(o Options) []NamedTable { return one(Differential(o)) }},
 	}

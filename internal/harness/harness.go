@@ -65,14 +65,24 @@ func (s Status) String() string {
 }
 
 // Meter is the per-run observability sink handed to every spec. Specs report
-// domain counters (DES events processed) through it; the harness fills in
-// wall clock and status itself.
+// domain counters (DES events processed, per-rank metadata bytes) through
+// it; the harness fills in wall clock, heap, and status itself.
 type Meter struct {
-	events int64
+	events    int64
+	rankBytes int64
 }
 
 // AddEvents accumulates DES events processed by this run.
 func (m *Meter) AddEvents(n int64) { m.events += n }
+
+// SetRankBytes records the largest per-rank metadata footprint (bytes) the
+// run observed — the distributed-forest scaling metric driver runs report.
+// Repeated calls keep the maximum; zero means the run does not track it.
+func (m *Meter) SetRankBytes(n int64) {
+	if n > m.rankBytes {
+		m.rankBytes = n
+	}
+}
 
 // Spec is one independent unit of work in a plan.
 type Spec[T any] struct {
@@ -91,6 +101,13 @@ type Result[T any] struct {
 	Status Status
 	Wall   time.Duration
 	Events int64
+	// RankBytes is the largest per-rank metadata footprint the run reported
+	// via Meter.SetRankBytes (0 when untracked).
+	RankBytes int64
+	// HeapMB is the process heap (MiB) right after the run completed.
+	// Process-wide, so under parallel execution it is an upper bound on
+	// this run's own footprint; 0 for timed-out runs.
+	HeapMB float64
 }
 
 // PanicError wraps a recovered spec panic.
@@ -234,28 +251,34 @@ func runOne[T any](timeout time.Duration, s Spec[T]) Result[T] {
 	res := Result[T]{ID: s.ID}
 	if timeout <= 0 {
 		start := time.Now()
-		res.Value, res.Err, res.Status, res.Events = call(s)
+		var m Meter
+		res.Value, res.Err, res.Status, m = call(s)
 		res.Wall = time.Since(start)
+		res.Events, res.RankBytes = m.events, m.rankBytes
+		res.HeapMB = heapMB()
 		return res
 	}
 	type outcome struct {
 		value  T
 		err    error
 		status Status
-		events int64
+		meter  Meter
+		heapMB float64
 	}
 	ch := make(chan outcome, 1)
 	start := time.Now()
 	go func() {
 		var o outcome
-		o.value, o.err, o.status, o.events = call(s)
+		o.value, o.err, o.status, o.meter = call(s)
+		o.heapMB = heapMB()
 		ch <- o
 	}()
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case o := <-ch:
-		res.Value, res.Err, res.Status, res.Events = o.value, o.err, o.status, o.events
+		res.Value, res.Err, res.Status = o.value, o.err, o.status
+		res.Events, res.RankBytes, res.HeapMB = o.meter.events, o.meter.rankBytes, o.heapMB
 	case <-timer.C:
 		res.Err = &TimeoutError{ID: s.ID, Limit: timeout}
 		res.Status = StatusTimeout
@@ -264,11 +287,18 @@ func runOne[T any](timeout time.Duration, s Spec[T]) Result[T] {
 	return res
 }
 
+// heapMB reads the live process heap in MiB. Taken right after each run
+// completes, it approximates the run's peak residency (the big sims dominate
+// the heap while they execute).
+func heapMB() float64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return float64(ms.HeapAlloc) / (1 << 20)
+}
+
 // call invokes the spec with panic recovery.
-func call[T any](s Spec[T]) (value T, err error, status Status, events int64) {
-	var m Meter
+func call[T any](s Spec[T]) (value T, err error, status Status, m Meter) {
 	defer func() {
-		events = m.events
 		if r := recover(); r != nil {
 			err = &PanicError{ID: s.ID, Value: r, Stack: debug.Stack()}
 			status = StatusPanic

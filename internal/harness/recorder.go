@@ -18,14 +18,19 @@ const CampaignRow = "__campaign__"
 // dump.
 //
 // Schema: campaign (str), spec (str), status (str), wall_ms (float),
-// events (int), alloc_mb (float), mallocs (int), err (str).
+// events (int), rank_bytes (int), heap_mb (float), alloc_mb (float),
+// mallocs (int), err (str).
 //
-// Per-run rows record wall clock and DES events; heap columns are zero
-// (Go exposes no per-goroutine allocation counters). Each campaign then
-// gets one summary row (spec = CampaignRow) whose wall_ms is the campaign's
-// end-to-end wall clock — under parallel execution this is less than the
-// sum of its runs — and whose alloc_mb/mallocs are the process-wide heap
-// growth across the campaign measured with runtime.ReadMemStats.
+// Per-run rows record wall clock, DES events, the run's largest per-rank
+// metadata footprint (Meter.SetRankBytes; 0 when untracked — the
+// distributed-forest scaling metric), and the process heap right after the
+// run; alloc columns are zero (Go exposes no per-goroutine allocation
+// counters). Each campaign then gets one summary row (spec = CampaignRow)
+// whose wall_ms is the campaign's end-to-end wall clock — under parallel
+// execution this is less than the sum of its runs — whose rank_bytes and
+// heap_mb are the maxima over the campaign's runs, and whose
+// alloc_mb/mallocs are the process-wide heap growth across the campaign
+// measured with runtime.ReadMemStats.
 type Recorder struct {
 	mu    sync.Mutex
 	table *telemetry.Table
@@ -36,7 +41,8 @@ func NewRecorder() *Recorder {
 	return &Recorder{table: telemetry.NewTable(
 		telemetry.StrCol("campaign"), telemetry.StrCol("spec"),
 		telemetry.StrCol("status"), telemetry.FloatCol("wall_ms"),
-		telemetry.IntCol("events"), telemetry.FloatCol("alloc_mb"),
+		telemetry.IntCol("events"), telemetry.IntCol("rank_bytes"),
+		telemetry.FloatCol("heap_mb"), telemetry.FloatCol("alloc_mb"),
 		telemetry.IntCol("mallocs"), telemetry.StrCol("err"),
 	)}
 }
@@ -76,7 +82,8 @@ func (r *recording) end() allocDelta {
 func recordCampaign[T any](r *Recorder, campaign string, elapsed time.Duration, alloc allocDelta, results []Result[T]) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var events int64
+	var events, maxRankBytes int64
+	maxHeap := 0.0
 	for _, res := range results {
 		errStr := ""
 		if res.Err != nil {
@@ -84,10 +91,17 @@ func recordCampaign[T any](r *Recorder, campaign string, elapsed time.Duration, 
 		}
 		r.table.Append(campaign, res.ID, res.Status.String(),
 			float64(res.Wall)/float64(time.Millisecond), res.Events,
-			0.0, 0, errStr)
+			int(res.RankBytes), res.HeapMB, 0.0, 0, errStr)
 		events += res.Events
+		if res.RankBytes > maxRankBytes {
+			maxRankBytes = res.RankBytes
+		}
+		if res.HeapMB > maxHeap {
+			maxHeap = res.HeapMB
+		}
 	}
 	r.table.Append(campaign, CampaignRow, StatusOK.String(),
 		float64(elapsed)/float64(time.Millisecond), events,
+		int(maxRankBytes), maxHeap,
 		float64(alloc.bytes)/(1<<20), int(alloc.mallocs), "")
 }

@@ -20,6 +20,11 @@ var DefaultCorePackages = []string{
 	"amrtools/internal/solver",
 	"amrtools/internal/sfc",
 	"amrtools/internal/cost",
+	"amrtools/internal/mesh",
+	"amrtools/internal/physics",
+	"amrtools/internal/critpath",
+	"amrtools/internal/health",
+	"amrtools/internal/check",
 }
 
 // wallClockFuncs are the time-package functions that read or depend on the

@@ -94,26 +94,6 @@ func (m *Mesh) Leaves() []*Block {
 // invalidate drops the cached ordering after a structural change.
 func (m *Mesh) invalidate() { m.ordered = nil }
 
-// dimAt returns the domain extent in blocks along dimension d at level.
-func (m *Mesh) dimAt(d, level int) uint32 { return m.rootDims[d] << uint(level) }
-
-// inDomain reports whether signed level-local coordinates are inside the
-// domain, wrapping them when the mesh is periodic.
-func (m *Mesh) wrap(c int64, d, level int) (uint32, bool) {
-	n := int64(m.dimAt(d, level))
-	if c >= 0 && c < n {
-		return uint32(c), true
-	}
-	if !m.periodic {
-		return 0, false
-	}
-	c %= n
-	if c < 0 {
-		c += n
-	}
-	return uint32(c), true
-}
-
 // coveringLeaf returns the leaf covering the cell at (level, x, y, z):
 // the cell itself if it is a leaf, else the nearest coarser ancestor leaf.
 // ok is false when no leaf covers the position (only possible for positions

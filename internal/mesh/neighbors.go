@@ -21,15 +21,10 @@ var directions = func() [][3]int {
 
 // neighborCoord returns the same-level cell adjacent to id in direction dir,
 // wrapping at domain boundaries when the mesh is periodic. ok is false when
-// the position falls outside a non-periodic domain.
+// the position falls outside a non-periodic domain. The arithmetic lives on
+// Geometry so distributed-forest views share it without the leaf set.
 func (m *Mesh) neighborCoord(id BlockID, dir [3]int) (BlockID, bool) {
-	x, okx := m.wrap(int64(id.X)+int64(dir[0]), 0, id.Level)
-	y, oky := m.wrap(int64(id.Y)+int64(dir[1]), 1, id.Level)
-	z, okz := m.wrap(int64(id.Z)+int64(dir[2]), 2, id.Level)
-	if !okx || !oky || !okz {
-		return BlockID{}, false
-	}
-	return BlockID{Level: id.Level, X: x, Y: y, Z: z}, true
+	return m.Geometry().NeighborCoord(id, dir)
 }
 
 // NeighborsOf returns one Neighbor entry per (direction, partner-leaf) pair

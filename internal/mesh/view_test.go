@@ -1,0 +1,236 @@
+package mesh
+
+import (
+	"reflect"
+	"testing"
+
+	"amrtools/internal/xrand"
+)
+
+// testMeshes returns a spread of mesh shapes: uniform, refined clusters,
+// periodic, non-power-of-two root grids, and a 1-wide periodic dimension
+// (the self-neighbor wrap case).
+func testMeshes(t *testing.T) map[string]*Mesh {
+	t.Helper()
+	out := map[string]*Mesh{
+		"uniform":  NewUniform(3, 2, 2, 2),
+		"refined":  RandomRefined(2, 2, 2, 3, 120, xrand.New(11)),
+		"ragged":   RandomRefined(3, 5, 2, 2, 150, xrand.New(5)),
+		"periodic": RandomRefined(2, 2, 2, 2, 80, xrand.New(3)),
+		"thin":     NewUniform(1, 1, 4, 1),
+	}
+	out["periodic"].SetPeriodic(true)
+	out["thin"].SetPeriodic(true)
+	out["thin"].RefineOnce(func(id BlockID) bool { return id.Z == 0 })
+	return out
+}
+
+// sent is one emitted message entry of a block, for order-exact comparison.
+type sent struct {
+	partner BlockID
+	entry   PairEntry
+}
+
+// globalEntries reproduces the send enumeration the pre-distributed epoch
+// builder used — NeighborsOf order with flux riders after fine→coarse face
+// ghosts — as the reference the view enumeration must match exactly.
+func globalEntries(m *Mesh, id BlockID) []sent {
+	var out []sent
+	byPartner := map[BlockID][]PairEntry{}
+	g := m.Geometry()
+	for _, nb := range m.NeighborsOf(id) {
+		entries, ok := byPartner[nb.ID]
+		if !ok {
+			entries = PairExchanges(g, id, nb.ID)
+			byPartner[nb.ID] = entries
+		}
+		if len(entries) == 0 {
+			return nil // signals disagreement; caller fails
+		}
+		out = append(out, sent{partner: nb.ID, entry: entries[0]})
+		entries = entries[1:]
+		if len(entries) > 0 && entries[0].Flux {
+			out = append(out, sent{partner: nb.ID, entry: entries[0]})
+			entries = entries[1:]
+		}
+		byPartner[nb.ID] = entries
+	}
+	for p, rest := range byPartner {
+		if len(rest) != 0 {
+			return append(out, sent{partner: p}) // extra arithmetic entries; caller fails
+		}
+	}
+	return out
+}
+
+// TestPairExchangesMatchesNeighborsOf: the arithmetic pair enumeration must
+// account for every (direction, partner) message NeighborsOf produces — same
+// multiplicity, same kinds, flux riders exactly after fine→coarse face
+// ghosts — across mesh shapes including periodic wrap.
+func TestPairExchangesMatchesNeighborsOf(t *testing.T) {
+	for name, m := range testMeshes(t) {
+		g := m.Geometry()
+		for _, b := range m.Leaves() {
+			// Count NeighborsOf entries per (partner, kind).
+			type pk struct {
+				id   BlockID
+				kind NeighborKind
+			}
+			want := map[pk]int{}
+			partners := map[BlockID]bool{}
+			for _, nb := range m.NeighborsOf(b.ID) {
+				want[pk{nb.ID, nb.Kind}]++
+				partners[nb.ID] = true
+			}
+			got := map[pk]int{}
+			flux := 0
+			for p := range partners {
+				for _, e := range PairExchanges(g, b.ID, p) {
+					if e.Flux {
+						flux++
+						continue
+					}
+					got[pk{p, e.Kind}]++
+				}
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: block %v: NeighborsOf %v != PairExchanges %v", name, b.ID, want, got)
+			}
+			// Flux riders: one per coarser face partner.
+			wantFlux := 0
+			for _, nb := range m.NeighborsOf(b.ID) {
+				if nb.Kind == Face && nb.ID.Level == b.ID.Level-1 {
+					wantFlux++
+				}
+			}
+			if flux != wantFlux {
+				t.Fatalf("%s: block %v: %d flux entries, want %d", name, b.ID, flux, wantFlux)
+			}
+		}
+	}
+}
+
+// TestViewNeighborsMatchesGlobalEnumeration: for every block under every
+// assignment shape, the view-local enumeration must emit the identical
+// ordered entry sequence as the global reference, with strictly ascending
+// tag slots (ascending slots are what make distributed tag agreement work).
+func TestViewNeighborsMatchesGlobalEnumeration(t *testing.T) {
+	for name, m := range testMeshes(t) {
+		leaves := m.Leaves()
+		assigns := map[string][]int{
+			"single":     make([]int, len(leaves)),
+			"roundrobin": make([]int, len(leaves)),
+			"split":      make([]int, len(leaves)),
+		}
+		for i := range leaves {
+			assigns["roundrobin"][i] = i % 7
+			assigns["split"][i] = i * 3 / len(leaves)
+		}
+		nranksOf := map[string]int{"single": 1, "roundrobin": 7, "split": 3}
+		for aname, assign := range assigns {
+			nranks := nranksOf[aname]
+			views := m.BuildRankViews(assign, nranks)
+			seen := 0
+			for _, v := range views {
+				for k := range v.Owned {
+					var got []sent
+					v.Neighbors(k, func(ref Ref, e PairEntry) {
+						got = append(got, sent{partner: v.RefID(ref), entry: e})
+						if want := assign[v.RefIndex(ref)]; v.RefOwner(ref) != want {
+							t.Fatalf("%s/%s: ref owner %d, assignment says %d",
+								name, aname, v.RefOwner(ref), want)
+						}
+					})
+					want := globalEntries(m, v.Owned[k].ID)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("%s/%s: block %v:\n view: %v\n global: %v",
+							name, aname, v.Owned[k].ID, got, want)
+					}
+					for i := 1; i < len(got); i++ {
+						if got[i].entry.Slot() <= got[i-1].entry.Slot() {
+							t.Fatalf("%s/%s: block %v: slots not ascending: %v",
+								name, aname, v.Owned[k].ID, got)
+						}
+					}
+					seen++
+				}
+			}
+			if seen != len(leaves) {
+				t.Fatalf("%s/%s: views own %d blocks, want %d", name, aname, seen, len(leaves))
+			}
+		}
+	}
+}
+
+// TestViewHaloDeterminism: rebuilding views must give identical halo order
+// (the view is part of the deterministic replay surface).
+func TestViewHaloDeterminism(t *testing.T) {
+	m := RandomRefined(2, 3, 2, 2, 100, xrand.New(9))
+	leaves := m.Leaves()
+	assign := make([]int, len(leaves))
+	for i := range assign {
+		assign[i] = i % 5
+	}
+	a := m.BuildRankViews(assign, 5)
+	b := m.BuildRankViews(assign, 5)
+	for r := range a {
+		if !reflect.DeepEqual(a[r].Owned, b[r].Owned) || !reflect.DeepEqual(a[r].Halo, b[r].Halo) {
+			t.Fatalf("rank %d: view construction not deterministic", r)
+		}
+	}
+}
+
+// TestViewBytesTracksLocalSize: a view's metadata footprint must scale with
+// its local neighborhood, not the global mesh — the distributed-forest
+// memory claim in miniature.
+func TestViewBytesTracksLocalSize(t *testing.T) {
+	small := NewUniform(4, 4, 4, 0)
+	big := NewUniform(8, 8, 8, 0)
+	// One rank per block: every rank owns 1 block with <= 26 halo entries.
+	sv := small.BuildRankViews(seq(small.NumLeaves()), small.NumLeaves())
+	bv := big.BuildRankViews(seq(big.NumLeaves()), big.NumLeaves())
+	maxBytes := func(vs []*RankView) int {
+		best := 0
+		for _, v := range vs {
+			if b := v.Bytes(); b > best {
+				best = b
+			}
+		}
+		return best
+	}
+	sb, bb := maxBytes(sv), maxBytes(bv)
+	// Both meshes have interior ranks with the full 26-block halo, so the
+	// worst-case per-rank view is identical despite 8x more global blocks.
+	if bb != sb {
+		t.Fatalf("per-rank view bytes grew with global size: %d -> %d", sb, bb)
+	}
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestViewResolveAndRefs exercises the Ref encoding round-trip.
+func TestViewRefEncoding(t *testing.T) {
+	m := NewUniform(2, 1, 1, 0)
+	views := m.BuildRankViews([]int{0, 1}, 2)
+	v := views[0]
+	ref, ok := v.Resolve(v.Owned[0].ID)
+	if !ok || !ref.IsOwned() || ref.OwnedIndex() != 0 {
+		t.Fatalf("owned resolve: ref=%v ok=%v", ref, ok)
+	}
+	if len(v.Halo) != 1 {
+		t.Fatalf("halo size %d, want 1", len(v.Halo))
+	}
+	href, ok := v.Resolve(v.Halo[0].ID)
+	if !ok || href.IsOwned() || href.HaloIndex() != 0 {
+		t.Fatalf("halo resolve: ref=%v ok=%v", href, ok)
+	}
+	if v.RefOwner(href) != 1 || v.RefOwner(ref) != 0 {
+		t.Fatalf("ref owners: %d %d", v.RefOwner(ref), v.RefOwner(href))
+	}
+}
