@@ -1,9 +1,11 @@
 GO ?= go
 
 # Packages that exercise the concurrency-bearing layers (harness worker
-# pool, DES engine, MPI runtime, placement zonal parallelism).
+# pool, DES engine + sharded scheduler, simnet, MPI runtime, driver window
+# phases, placement zonal parallelism).
 RACE_PKGS = ./internal/harness/... ./internal/experiments/... \
-            ./internal/sim/... ./internal/mpi/... ./internal/placement/...
+            ./internal/sim/... ./internal/simnet/... ./internal/mpi/... \
+            ./internal/driver/... ./internal/placement/...
 
 .PHONY: all build vet lint test race bench benchcmp check fmt
 
@@ -29,15 +31,15 @@ race:
 
 # One iteration of every root benchmark (each regenerates a paper table or
 # figure); benchjson tees the text output through and archives the parsed
-# results as BENCH_PR6.json for the CI artifact.
+# results as BENCH_PR7.json for the CI artifact.
 bench:
-	$(GO) test -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out BENCH_PR6.json
+	$(GO) test -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out BENCH_PR7.json
 
 # Delta table between the previous PR's archived benchmark run and the
 # current one: ns/op and allocs/op per benchmark, regressions beyond 10%
 # marked. Advisory — the target never fails the build.
 benchcmp:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR4.json BENCH_PR6.json -threshold 10
+	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json -threshold 10
 
 # Distributed-forest smoke at the paper-breaking scale: one 64k-rank driver
 # run (plus the 4k/16k lead-ins) with every invariant audit on and a hard

@@ -28,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -213,14 +214,18 @@ func writeCompareTable(w io.Writer, old, cur []result, threshold float64) int {
 			ov, oOK := o.Metrics[unit]
 			cv, cOK := c.Metrics[unit]
 			cells = append(cells, fmtOptMetric(ov, oOK), fmtOptMetric(cv, cOK))
-			if oOK && cOK && ov > 0 {
-				d := (cv - ov) / ov * 100
-				cells = append(cells, fmt.Sprintf("%+.1f", d))
-				if d > worst {
-					worst = d
-				}
-			} else {
-				cells = append(cells, "-")
+			// A delta needs both sides present, a nonzero baseline to
+			// normalize by, and finite measurements (a zero-ns/op baseline
+			// or a NaN from a corrupt archive must read "n/a", not
+			// +Inf/NaN silently slipping past the threshold comparison).
+			d := (cv - ov) / ov * 100
+			if !oOK || !cOK || math.IsNaN(d) || math.IsInf(d, 0) {
+				cells = append(cells, "n/a")
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%+.1f", d))
+			if d > worst {
+				worst = d
 			}
 		}
 		mark := ""
@@ -246,10 +251,14 @@ func writeCompareTable(w io.Writer, old, cur []result, threshold float64) int {
 
 // fmtOptMetric renders a metric value compactly: integers without a
 // fraction, large values without exponent notation, absent metrics as "-"
-// (e.g. allocs/op in an archive recorded without -benchmem).
+// (e.g. allocs/op in an archive recorded without -benchmem), non-finite
+// values (corrupt or hand-edited archives) as "n/a".
 func fmtOptMetric(v float64, ok bool) string {
 	if !ok {
 		return "-"
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "n/a"
 	}
 	if v == float64(int64(v)) {
 		return strconv.FormatInt(int64(v), 10)

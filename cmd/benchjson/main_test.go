@@ -1,6 +1,7 @@
 package main
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -92,6 +93,75 @@ func TestCompareTableMissingMetricShowsDash(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "-") {
 		t.Fatalf("missing metric not rendered as dash:\n%s", sb.String())
+	}
+}
+
+// TestCompareTableZeroBaselineNoInf: a zero baseline metric (a 0-allocs/op
+// benchmark gaining its first allocation, or a degenerate 0 ns/op line)
+// must render "n/a" — never +Inf/NaN — and must not trip the regression
+// gate, whose comparison a non-finite delta would silently bypass.
+func TestCompareTableZeroBaselineNoInf(t *testing.T) {
+	old := []result{{Name: "BenchmarkZ", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0}}}
+	cur := []result{{Name: "BenchmarkZ", Metrics: map[string]float64{"ns/op": 110, "allocs/op": 3}}}
+	var sb strings.Builder
+	if n := writeCompareTable(&sb, old, cur, 50); n != 0 {
+		t.Fatalf("zero-baseline delta counted as regression:\n%s", sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "n/a") {
+		t.Fatalf("zero-baseline delta not marked n/a:\n%s", out)
+	}
+	for _, bad := range []string{"Inf", "NaN"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("table leaks %s:\n%s", bad, out)
+		}
+	}
+}
+
+// TestCompareTableZeroZeroBaseline: both sides zero is a 0/0 delta — also
+// "n/a", not NaN.
+func TestCompareTableZeroZeroBaseline(t *testing.T) {
+	old := []result{{Name: "BenchmarkZ", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0}}}
+	cur := []result{{Name: "BenchmarkZ", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0}}}
+	var sb strings.Builder
+	if n := writeCompareTable(&sb, old, cur, 10); n != 0 {
+		t.Fatal("identical runs flagged as regression")
+	}
+	if out := sb.String(); strings.Contains(out, "NaN") || !strings.Contains(out, "n/a") {
+		t.Fatalf("0/0 delta not marked n/a:\n%s", out)
+	}
+}
+
+// TestCompareTableNonFiniteArchiveValues: NaN/Inf metric values from a
+// corrupt or hand-edited archive must surface as "n/a" cells rather than
+// propagate into the delta math.
+func TestCompareTableNonFiniteArchiveValues(t *testing.T) {
+	old := []result{{Name: "BenchmarkW", Metrics: map[string]float64{"ns/op": math.Inf(1), "allocs/op": 4}}}
+	cur := []result{{Name: "BenchmarkW", Metrics: map[string]float64{"ns/op": math.NaN(), "allocs/op": 4}}}
+	var sb strings.Builder
+	if n := writeCompareTable(&sb, old, cur, 10); n != 0 {
+		t.Fatalf("non-finite archive values counted as regression:\n%s", sb.String())
+	}
+	out := sb.String()
+	for _, bad := range []string{"Inf", "NaN"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("table leaks %s:\n%s", bad, out)
+		}
+	}
+}
+
+// TestCompareTableDisjointFiles: every benchmark added or removed — the
+// whole table is markers, no deltas, no regressions.
+func TestCompareTableDisjointFiles(t *testing.T) {
+	old := []result{{Name: "BenchmarkOld", Metrics: map[string]float64{"ns/op": 10}}}
+	cur := []result{{Name: "BenchmarkNew", Metrics: map[string]float64{"ns/op": 20}}}
+	var sb strings.Builder
+	if n := writeCompareTable(&sb, old, cur, 10); n != 0 {
+		t.Fatal("disjoint benchmark sets produced regressions")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "new benchmark") || !strings.Contains(out, "removed") {
+		t.Fatalf("missing new/removed markers:\n%s", out)
 	}
 }
 

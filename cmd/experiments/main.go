@@ -51,6 +51,7 @@ func main() {
 	traceDir := flag.String("trace", "", "record per-run span traces into this directory (one colfile per run, plus campaign.col)")
 	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none); a safety net against simulated deadlocks")
 	paranoid := flag.Bool("paranoid", false, "run every simulation with the internal/check invariant audits on")
+	shards := flag.Int("shards", 0, "node-sharded event queues per simulation (0 = single-engine scheduler; results identical for any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	flag.Parse()
@@ -108,6 +109,7 @@ func main() {
 		Quick:    *quick,
 		Seed:     *seed,
 		Paranoid: *paranoid,
+		Shards:   *shards,
 		TraceDir: *traceDir,
 		Exec: harness.Exec{
 			Workers:  *workers,

@@ -39,6 +39,7 @@ func main() {
 	workers := flag.Int("j", 0, "parallel runs per campaign (0 = GOMAXPROCS)")
 	scale := flag.Bool("scale", false, "run the distributed-forest rank-scaling sweep (full driver runs)")
 	paranoid := flag.Bool("paranoid", false, "run -scale simulations with the internal/check invariant audits on")
+	shards := flag.Int("shards", 0, "node-sharded event queues per simulation (0 = single-engine scheduler; results identical for any value)")
 	metrics := flag.String("metrics", "", "write per-run campaign telemetry to this colfile")
 	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none); a safety net against simulated deadlocks")
 	flag.Parse()
@@ -51,6 +52,7 @@ func main() {
 		Quick:    !*full,
 		Seed:     *seed,
 		Paranoid: *paranoid,
+		Shards:   *shards,
 		Exec: harness.Exec{
 			Workers:  *workers,
 			Timeout:  *timeout,

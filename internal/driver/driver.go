@@ -122,6 +122,27 @@ type Config struct {
 	// moment a condition appears in live telemetry (see telemetry.Watcher).
 	OnStepRecord func(t *telemetry.Table, row int)
 
+	// Shards, when > 0, runs the simulation on the conservative parallel
+	// scheduler (sim.Shards): the simulated nodes split into min(Shards,
+	// Net.Nodes) contiguous groups, each with its own event queue, advanced
+	// in lockstep lookahead windows bounded by the network's cross-node
+	// latency (simnet.Config.Lookahead) and executed concurrently when enough
+	// shards are active. Results are byte-identical for every Shards >= 1 and
+	// any GOMAXPROCS, but differ from the sequential Shards == 0 default
+	// (fabric randomness moves from one shared stream to per-node streams,
+	// and same-time table rows order by rank instead of engine arrival).
+	// Forced to 0 when TraceStep >= 0: the critical-path trace window shares
+	// one task list across ranks and needs the sequential engine.
+	Shards int
+
+	// Interrupt, when set, is polled during execution — every few thousand
+	// events on the sequential engine, once per window on the sharded
+	// scheduler. When it reports true the run aborts and Run returns an
+	// error wrapping sim.ErrInterrupted. The poll races with whatever sets
+	// the underlying flag, so that flag must be atomic (the campaign
+	// harness's timeout abort uses this).
+	Interrupt func() bool
+
 	// Paranoid enables the runtime invariant audits of internal/check
 	// through every layer of the run: collective-round membership (mpi),
 	// shm-queue/NIC accounting (simnet), epoch and mesh consistency after
@@ -264,6 +285,9 @@ type runState struct {
 	res           *Result
 	tracer        *trace.Recorder // nil unless Config.Trace
 	sizes         [3]int          // face/edge/vertex message bytes
+	// stage holds the per-rank telemetry staging buffers of a sharded run
+	// (nil in sequential mode); see shardstage.go.
+	stage *shardStage
 
 	// meshChanges counts redistributions that changed the mesh, for the
 	// PlacementEvery deferral.
@@ -283,13 +307,45 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.TraceStep >= cfg.Steps {
 		return nil, fmt.Errorf("driver: TraceStep %d beyond last step %d", cfg.TraceStep, cfg.Steps-1)
 	}
-	eng := sim.NewEngine()
-	net := simnet.New(eng, cfg.Net)
-	world := mpi.NewWorld(eng, net)
+	var (
+		eng   *sim.Engine
+		shs   *sim.Shards
+		net   *simnet.Network
+		world *mpi.World
+	)
+	if cfg.Shards > 0 {
+		// Conservative parallel DES (DESIGN.md §10): contiguous node groups,
+		// one event queue each, under the lookahead-window scheduler.
+		nsh := cfg.Shards
+		if nsh > cfg.Net.Nodes {
+			nsh = cfg.Net.Nodes
+		}
+		shardOfNode := make([]int32, cfg.Net.Nodes)
+		for nd := range shardOfNode {
+			shardOfNode[nd] = int32(nd * nsh / cfg.Net.Nodes)
+		}
+		shs = sim.NewShards(nsh, cfg.Net.Lookahead())
+		net = simnet.NewSharded(shs.Engines(), shardOfNode, cfg.Net)
+		world = mpi.NewShardedWorld(shs, net, shardOfNode)
+	} else {
+		eng = sim.NewEngine()
+		net = simnet.New(eng, cfg.Net)
+		world = mpi.NewWorld(eng, net)
+	}
 	nranks := world.NumRanks()
 	paranoid := check.Enabled(cfg.Paranoid)
 	net.SetParanoid(paranoid)
 	world.SetParanoid(paranoid)
+	if shs != nil {
+		shs.SetParanoid(paranoid)
+	}
+	if cfg.Interrupt != nil {
+		if shs != nil {
+			shs.SetInterrupt(cfg.Interrupt)
+		} else {
+			eng.SetInterrupt(cfg.Interrupt)
+		}
+	}
 
 	st := &runState{
 		cfg:       cfg,
@@ -301,6 +357,12 @@ func Run(cfg Config) (*Result, error) {
 		sizes:     messageSizes(cfg),
 	}
 	st.res.InitialBlocks = st.m.NumLeaves()
+	if shs != nil {
+		st.stage = newShardStage(nranks)
+		// Registered after the world's collective merge (NewShardedWorld), so
+		// rows staged before a barrier flush in the merge that releases it.
+		shs.OnMerge(st.flushStage)
+	}
 
 	if cfg.Trace != nil {
 		st.tracer = trace.NewRecorder(nranks, cfg.Net.RanksPerNode, *cfg.Trace)
@@ -345,7 +407,13 @@ func Run(cfg Config) (*Result, error) {
 			telemetry.FloatCol("t"), telemetry.IntCol("rank"),
 			telemetry.StrCol("kind"), telemetry.FloatCol("dur"),
 		)
-		world.OnWait = func(rank int, kind mpi.WaitKind, dur float64) {
+		world.OnWait = func(rank int, kind mpi.WaitKind, t sim.Time, dur float64) {
+			if sg := st.stage; sg != nil {
+				if !sg.waitsFull {
+					sg.waits[rank] = append(sg.waits[rank], waitRow{t: t, dur: dur, kind: kind})
+				}
+				return
+			}
 			if st.res.Waits.NumRows() >= cfg.MaxWaitEvents {
 				return
 			}
@@ -353,7 +421,7 @@ func Run(cfg Config) (*Result, error) {
 			if kind == mpi.WaitSend {
 				ks = "send"
 			}
-			st.res.Waits.Append(eng.Now(), rank, ks, dur)
+			st.res.Waits.Append(t, rank, ks, dur)
 		}
 	}
 
@@ -364,9 +432,18 @@ func Run(cfg Config) (*Result, error) {
 			st.rankProgram(c, world, &prev[r])
 		})
 	}
-	eng.Run()
-	if blocked := eng.Blocked(); len(blocked) > 0 {
-		eng.Close()
+	if err := runSim(shs, eng); err != nil {
+		closeSim(shs, eng)
+		return nil, err
+	}
+	var blocked []*sim.Proc
+	if shs != nil {
+		blocked = shs.Blocked()
+	} else {
+		blocked = eng.Blocked()
+	}
+	if len(blocked) > 0 {
+		closeSim(shs, eng)
 		return nil, fmt.Errorf("driver: simulated deadlock, %d ranks blocked (first: %s)",
 			len(blocked), blocked[0].Name())
 	}
@@ -376,16 +453,26 @@ func Run(cfg Config) (*Result, error) {
 		world.AuditTeardown()
 		net.AuditDrained()
 	}
+	if shs != nil {
+		// All rank procs finished; this only stops the worker pool so a long
+		// campaign of sharded runs never accumulates idle goroutines.
+		shs.Close()
+	}
 
-	st.res.Makespan = eng.Now()
-	st.res.Events = eng.Events()
+	if shs != nil {
+		st.res.Makespan = shs.Now()
+		st.res.Events = shs.Events()
+	} else {
+		st.res.Makespan = eng.Now()
+		st.res.Events = eng.Events()
+	}
 	if st.tracer != nil {
 		// Post-run probe of the same nodes, placed after the run on the
 		// virtual timeline.
 		emitProbes(st.tracer, cfg.Net, trace.ProbePost, st.res.Makespan)
 	}
 	st.res.FinalBlocks = st.m.NumLeaves()
-	st.res.Census = net.Census
+	st.res.Census = net.CensusTotal()
 	var tot PhaseTotals
 	for r := 0; r < nranks; r++ {
 		m := world.Meter(r)
@@ -431,7 +518,43 @@ func validate(cfg *Config) error {
 	if cfg.MaxWaitEvents <= 0 {
 		cfg.MaxWaitEvents = 200000
 	}
+	if cfg.Shards < 0 || cfg.TraceStep >= 0 {
+		// The critical-path trace window appends to one shared task list from
+		// every rank; it requires the sequential engine.
+		cfg.Shards = 0
+	}
 	return nil
+}
+
+// runSim drives the machine to completion, converting an interrupt panic
+// (Config.Interrupt) into an error wrapping sim.ErrInterrupted. Any other
+// panic propagates.
+func runSim(shs *sim.Shards, eng *sim.Engine) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == sim.ErrInterrupted {
+				err = fmt.Errorf("driver: %w", sim.ErrInterrupted)
+				return
+			}
+			panic(r)
+		}
+	}()
+	if shs != nil {
+		shs.Run()
+	} else {
+		eng.Run()
+	}
+	return nil
+}
+
+// closeSim terminates the machine's blocked processes (and, in sharded mode,
+// its worker pool) after an aborted or deadlocked run.
+func closeSim(shs *sim.Shards, eng *sim.Engine) {
+	if shs != nil {
+		shs.Close()
+		return
+	}
+	eng.Close()
 }
 
 // emitProbes runs the health-probe kernel over the run's cluster and records
@@ -587,6 +710,7 @@ func (st *runState) buildEpochWith(assign placement.Assignment, costs []float64,
 // between barriers, at zero virtual cost (the virtual charge is applied by
 // every rank afterwards).
 func (st *runState) redistribute(step, nranks int) {
+	st.syncObservations()
 	refined := st.m.RefineOnce(func(id mesh.BlockID) bool { return st.cfg.Problem.WantRefine(id, step) })
 	coarsened := st.m.CoarsenWhere(func(id mesh.BlockID) bool { return st.cfg.Problem.WantCoarsen(id, step) })
 	if refined == 0 && coarsened == 0 {
@@ -659,7 +783,7 @@ func (st *runState) rankProgram(c *mpi.Comm, world *mpi.World, prev *mpi.Meter) 
 		compute := func() {
 			for _, lb := range plan.view.Owned {
 				dur := c.Compute(st.cfg.Problem.Cost(lb.ID, step) * scale)
-				st.rec.Observe(lb.ID, dur/scale)
+				st.observe(rank, lb.ID, dur/scale)
 			}
 		}
 		tracing := step == st.cfg.TraceStep
@@ -675,7 +799,7 @@ func (st *runState) rankProgram(c *mpi.Comm, world *mpi.World, prev *mpi.Meter) 
 			for _, lb := range plan.view.Owned {
 				t0 := c.Now()
 				dur := c.Compute(st.cfg.Problem.Cost(lb.ID, step) * scale)
-				st.rec.Observe(lb.ID, dur/scale)
+				st.observe(rank, lb.ID, dur/scale)
 				st.res.Trace.Add(rank, critpath.Compute,
 					fmt.Sprintf("compute b%d", lb.Index), t0, c.Now())
 			}
@@ -727,15 +851,25 @@ func (st *runState) rankProgram(c *mpi.Comm, world *mpi.World, prev *mpi.Meter) 
 		c.Barrier()
 		m := world.Meter(rank)
 		if st.res.Steps != nil {
-			st.res.Steps.Append(
-				step, rank, world.Net().NodeOf(rank),
-				m.Compute-prev.Compute, m.CommWait-prev.CommWait,
-				m.Sync-prev.Sync, m.Rebalance-prev.Rebalance,
-				m.MsgsSent-prev.MsgsSent, m.BytesSent-prev.BytesSent,
-				m.MsgsRecvd-prev.MsgsRecvd,
-			)
-			if st.cfg.OnStepRecord != nil {
-				st.cfg.OnStepRecord(st.res.Steps, st.res.Steps.NumRows()-1)
+			if sg := st.stage; sg != nil {
+				sg.steps[rank] = append(sg.steps[rank], stepRow{
+					step: step, node: world.Net().NodeOf(rank),
+					compute: m.Compute - prev.Compute, comm: m.CommWait - prev.CommWait,
+					sync: m.Sync - prev.Sync, rebalance: m.Rebalance - prev.Rebalance,
+					msgsSent: m.MsgsSent - prev.MsgsSent, bytesSent: m.BytesSent - prev.BytesSent,
+					msgsRecvd: m.MsgsRecvd - prev.MsgsRecvd,
+				})
+			} else {
+				st.res.Steps.Append(
+					step, rank, world.Net().NodeOf(rank),
+					m.Compute-prev.Compute, m.CommWait-prev.CommWait,
+					m.Sync-prev.Sync, m.Rebalance-prev.Rebalance,
+					m.MsgsSent-prev.MsgsSent, m.BytesSent-prev.BytesSent,
+					m.MsgsRecvd-prev.MsgsRecvd,
+				)
+				if st.cfg.OnStepRecord != nil {
+					st.cfg.OnStepRecord(st.res.Steps, st.res.Steps.NumRows()-1)
+				}
 			}
 		}
 		*prev = *m

@@ -89,3 +89,96 @@ func TestDirectoryHomeRankBalance(t *testing.T) {
 		t.Fatalf("countInstalls = %d, want 56", n)
 	}
 }
+
+// TestDirectorySingleBlockMesh: the degenerate single-leaf forest must
+// still route — all key space resolves to the one record's home, lookups
+// hit it, and descendants of the sole block inherit its rank.
+func TestDirectorySingleBlockMesh(t *testing.T) {
+	m := mesh.NewUniform(1, 1, 1, 2)
+	root := m.Leaves()[0].ID
+	dir := directoryFor(m, map[mesh.BlockID]int{root: 5}, 8)
+	if o, ok := dir.lookup(root); !ok || o != 5 {
+		t.Fatalf("lookup = (%d, %v), want (5, true)", o, ok)
+	}
+	deep := root.Children()[7].Children()[1]
+	if o, ok := dir.inherit(deep); !ok || o != 5 {
+		t.Fatalf("descendant inherited (%d, %v), want (5, true)", o, ok)
+	}
+}
+
+// TestDirectoryZeroBlockRanks: with more ranks than leaves, most home
+// shards are empty; every leaf must still resolve and the empty shards must
+// stay truly empty (their footprint is what the scaling claim counts).
+func TestDirectoryZeroBlockRanks(t *testing.T) {
+	m := mesh.NewUniform(2, 1, 1, 1)
+	a, b := m.Leaves()[0].ID, m.Leaves()[1].ID
+	dir := directoryFor(m, map[mesh.BlockID]int{a: 1, b: 0}, 16)
+	if o, ok := dir.lookup(a); !ok || o != 1 {
+		t.Fatalf("leaf a = (%d, %v), want (1, true)", o, ok)
+	}
+	if o, ok := dir.lookup(b); !ok || o != 0 {
+		t.Fatalf("leaf b = (%d, %v), want (0, true)", o, ok)
+	}
+	nonempty := 0
+	for h := range dir.shards {
+		if n := len(dir.shards[h].keys); n > 0 {
+			nonempty++
+			if h >= 2 {
+				t.Fatalf("record landed on home rank %d; 2 leaves fill only the first homes", h)
+			}
+		}
+	}
+	if nonempty != 2 {
+		t.Fatalf("%d non-empty home shards, want 2", nonempty)
+	}
+}
+
+// TestInheritMaxDepthKeys: a max-level block absent from the directory has
+// no children to take a majority from (they would exceed the mesh depth);
+// inheritance must come from the ancestor walk alone, and an id with no
+// recorded ancestor reports ok=false rather than a silent rank-0 claim.
+func TestInheritMaxDepthKeys(t *testing.T) {
+	m := mesh.NewUniform(2, 1, 1, 2) // maxLevel 2
+	rootA := m.Leaves()[0].ID
+	dir := directoryFor(m, map[mesh.BlockID]int{rootA: 3}, 4)
+	deepest := rootA.Children()[2].Children()[6]
+	if deepest.Level != 2 {
+		t.Fatalf("deepest level %d, want the mesh max 2", deepest.Level)
+	}
+	if o, ok := dir.inherit(deepest); !ok || o != 3 {
+		t.Fatalf("max-depth block inherited (%d, %v), want (3, true)", o, ok)
+	}
+	// Same depth under the unrecorded root: nothing to inherit from.
+	rootB := m.Leaves()[len(m.Leaves())-1].ID
+	orphan := rootB.Children()[0].Children()[0]
+	if o, ok := dir.inherit(orphan); ok {
+		t.Fatalf("orphan at max depth inherited (%d, true), want ok=false", o)
+	}
+}
+
+// TestDirectoryRoutingShardCountIndependent: the owner a lookup or an
+// inheritance resolves is a function of the records, not of how many home
+// shards the key space is split across — the property that lets the driver
+// rebuild the directory for any rank count without perturbing results.
+func TestDirectoryRoutingShardCountIndependent(t *testing.T) {
+	m := mesh.NewUniform(2, 2, 1, 1)
+	owners := map[mesh.BlockID]int{}
+	for i, b := range m.Leaves() {
+		owners[b.ID] = i % 3
+	}
+	base := directoryFor(m, owners, 1)
+	for _, nranks := range []int{2, 3, 8, 64} {
+		dir := directoryFor(m, owners, nranks)
+		for id, want := range owners {
+			if o, ok := dir.lookup(id); !ok || o != want {
+				t.Fatalf("nranks=%d: lookup(%v) = (%d, %v), want (%d, true)", nranks, id, o, ok, want)
+			}
+			child := id.Children()[3]
+			bo, bok := base.inherit(child)
+			if o, ok := dir.inherit(child); o != bo || ok != bok {
+				t.Fatalf("nranks=%d: inherit(%v) = (%d, %v), base says (%d, %v)",
+					nranks, child, o, ok, bo, bok)
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"amrtools/internal/harness"
+	"amrtools/internal/telemetry"
 )
 
 // TestParallelMatchesSequential is the regression guarantee the harness
@@ -27,6 +28,27 @@ func TestParallelMatchesSequential(t *testing.T) {
 	if serial != parallel {
 		t.Fatalf("Fig6 tables differ between -j 1 and -j 4:\n--- j=1 ---\n%s\n--- j=4 ---\n%s",
 			serial, parallel)
+	}
+}
+
+// TestParallelMatchesSequentialFig7c covers the campaign earlier identity
+// tests had to skip: Fig 7c measures host wall clock (placement_ms and its
+// budget verdict never reproduce), so its j1-vs-jN identity only holds —
+// and is only meaningful — under the nondeterministic-column mask.
+func TestParallelMatchesSequentialFig7c(t *testing.T) {
+	tab := func(workers int) *telemetry.Table {
+		opts := Options{Quick: true, Seed: 42, Exec: harness.Exec{Workers: workers}}
+		return Fig7c(opts)
+	}
+	serial, parallel := tab(1), tab(3)
+	if !telemetry.EqualMasked(serial, parallel, NondetCols...) {
+		t.Fatalf("Fig7c virtual-time columns differ between -j 1 and -j 3:\n--- j=1 ---\n%s\n--- j=3 ---\n%s",
+			serial.Render(0), parallel.Render(0))
+	}
+	// The masked columns must be exactly the wall-clock ones: masking must
+	// not have hidden a whole-schema mismatch.
+	if got := len(serial.Schema()) - len(serial.Without("placement_ms", "within_50ms_budget").Schema()); got != 2 {
+		t.Fatalf("expected exactly 2 wall columns masked, got %d", got)
 	}
 }
 

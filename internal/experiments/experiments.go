@@ -48,6 +48,11 @@ type Options struct {
 	// every driver run the experiments launch. The differential experiment
 	// always runs paranoid regardless of this flag.
 	Paranoid bool
+	// Shards, when positive, runs every driver simulation on the
+	// conservative parallel scheduler with that many node-sharded event
+	// queues (driver.Config.Shards). Results are bit-identical to any
+	// other positive shard count; 0 keeps the single-engine scheduler.
+	Shards int
 	// TraceDir, when non-empty, turns on the flight recorder
 	// (internal/trace) in every driver run and writes each run's span
 	// stream as `<TraceDir>/<campaign>--<id>.col` — a colfile readable by
@@ -56,6 +61,13 @@ type Options struct {
 	// Exec.Workers settings.
 	TraceDir string
 }
+
+// NondetCols names the wall-clock-derived columns that byte-identity checks
+// must mask out (telemetry.EqualMasked): the harness recorder's wall_ms and
+// heap_mb, and Fig 7c's placement_ms with its derived budget verdict. Every
+// other column comes from virtual time or deterministic plan construction
+// and must reproduce bit-for-bit across -j, -shards, and hosts.
+var NondetCols = []string{"wall_ms", "heap_mb", "alloc_mb", "placement_ms", "within_50ms_budget"}
 
 // SedovScale is one Table I configuration.
 type SedovScale struct {
@@ -100,6 +112,7 @@ func (o Options) steps() int {
 func (o Options) sedovConfig(sc SedovScale, pol placement.Policy, steps int, seed uint64) driver.Config {
 	cfg := driver.DefaultConfig(sc.RootDims, 2, steps, pol, seed)
 	cfg.Paranoid = o.Paranoid
+	cfg.Shards = o.Shards
 	return cfg
 }
 
@@ -113,7 +126,12 @@ func (o Options) sedovSpec(id string, cfg driver.Config) harness.Spec[*driver.Re
 	return harness.Spec[*driver.Result]{
 		ID: id,
 		Run: func(m *harness.Meter) (*driver.Result, error) {
-			res, err := driver.Run(cfg)
+			run := cfg
+			// Honor the harness timeout: a timed-out spec's goroutine
+			// stops at the next engine interrupt poll instead of
+			// simulating on to completion after being abandoned.
+			run.Interrupt = m.Aborted
+			res, err := driver.Run(run)
 			if err != nil {
 				return nil, err
 			}

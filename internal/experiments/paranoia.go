@@ -39,7 +39,7 @@ func Differential(opts Options) *telemetry.Table {
 	t1 := differentialTable(j1)
 	t4 := differentialTable(j4)
 	jEqual := 0
-	if t1.Render(0) == t4.Render(0) {
+	if telemetry.EqualMasked(t1, t4, NondetCols...) {
 		jEqual = 1
 	}
 	sc := opts.scales()[0]

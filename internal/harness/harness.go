@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,7 +71,14 @@ func (s Status) String() string {
 type Meter struct {
 	events    int64
 	rankBytes int64
+	aborted   atomic.Bool
 }
+
+// Aborted reports whether the harness has given up on this run (its plan
+// timeout expired). Long-running specs should poll it — driver runs wire it
+// to driver.Config.Interrupt — so a timed-out run exits promptly instead of
+// simulating on as an abandoned goroutine until process exit.
+func (m *Meter) Aborted() bool { return m.aborted.Load() }
 
 // AddEvents accumulates DES events processed by this run.
 func (m *Meter) AddEvents(n int64) { m.events += n }
@@ -252,7 +260,7 @@ func runOne[T any](timeout time.Duration, s Spec[T]) Result[T] {
 	if timeout <= 0 {
 		start := time.Now()
 		var m Meter
-		res.Value, res.Err, res.Status, m = call(s)
+		res.Value, res.Err, res.Status = call(s, &m)
 		res.Wall = time.Since(start)
 		res.Events, res.RankBytes = m.events, m.rankBytes
 		res.HeapMB = heapMB()
@@ -262,14 +270,20 @@ func runOne[T any](timeout time.Duration, s Spec[T]) Result[T] {
 		value  T
 		err    error
 		status Status
-		meter  Meter
+		events int64
+		rbytes int64
 		heapMB float64
 	}
+	// The meter outlives the select: on timeout the abandoned run goroutine
+	// keeps writing its counters, so the harness snapshots them into the
+	// outcome before handing anything back and never touches m again.
+	m := new(Meter)
 	ch := make(chan outcome, 1)
 	start := time.Now()
 	go func() {
 		var o outcome
-		o.value, o.err, o.status, o.meter = call(s)
+		o.value, o.err, o.status = call(s, m)
+		o.events, o.rbytes = m.events, m.rankBytes
 		o.heapMB = heapMB()
 		ch <- o
 	}()
@@ -278,8 +292,12 @@ func runOne[T any](timeout time.Duration, s Spec[T]) Result[T] {
 	select {
 	case o := <-ch:
 		res.Value, res.Err, res.Status = o.value, o.err, o.status
-		res.Events, res.RankBytes, res.HeapMB = o.meter.events, o.meter.rankBytes, o.heapMB
+		res.Events, res.RankBytes, res.HeapMB = o.events, o.rbytes, o.heapMB
 	case <-timer.C:
+		// Signal the run to bail out at its next interrupt poll; specs that
+		// honor Meter.Aborted exit within one event window instead of
+		// leaking a goroutine that simulates to completion.
+		m.aborted.Store(true)
 		res.Err = &TimeoutError{ID: s.ID, Limit: timeout}
 		res.Status = StatusTimeout
 	}
@@ -297,14 +315,14 @@ func heapMB() float64 {
 }
 
 // call invokes the spec with panic recovery.
-func call[T any](s Spec[T]) (value T, err error, status Status, m Meter) {
+func call[T any](s Spec[T], m *Meter) (value T, err error, status Status) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{ID: s.ID, Value: r, Stack: debug.Stack()}
 			status = StatusPanic
 		}
 	}()
-	value, err = s.Run(&m)
+	value, err = s.Run(m)
 	if err != nil {
 		status = StatusErr
 	}

@@ -3,6 +3,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -109,6 +110,34 @@ func TestSpecErrorDoesNotStopPlan(t *testing.T) {
 	}
 	if _, err := Values(results); !errors.Is(err, wantErr) {
 		t.Fatalf("Values err = %v", err)
+	}
+}
+
+// TestTimeoutAbortsRunGoroutine locks in the cooperative-abort fix: a
+// timed-out spec that polls Meter.Aborted must exit shortly after its
+// result is recorded, returning the process to its pre-campaign goroutine
+// count instead of leaking an abandoned run until exit.
+func TestTimeoutAbortsRunGoroutine(t *testing.T) {
+	base := runtime.NumGoroutine()
+	var exited atomic.Bool
+	specs := plan(1, func(i int, m *Meter) (int, error) {
+		defer exited.Store(true)
+		for !m.Aborted() {
+			time.Sleep(time.Millisecond)
+		}
+		return 0, errors.New("aborted")
+	})
+	results := Run(Exec{Workers: 1, Timeout: 20 * time.Millisecond}, "abort", specs)
+	if results[0].Status != StatusTimeout {
+		t.Fatalf("status %v, want timeout", results[0].Status)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !exited.Load() || runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned run still alive: exited=%v goroutines %d > %d",
+				exited.Load(), runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

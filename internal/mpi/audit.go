@@ -36,6 +36,15 @@ func (w *World) AuditTeardown() {
 	check.Assertf(w.barrier == nil, "mpi", "collective-round-open",
 		"a collective round (%s) is still open at teardown with %d arrivals",
 		openOp(w.barrier), openArrivals(w.barrier))
+	if st := w.shard; st != nil {
+		open := len(st.round.arrivals)
+		for sh := range st.outColl {
+			open += len(st.outColl[sh])
+		}
+		check.Assertf(open == 0, "mpi", "collective-round-open",
+			"a sharded collective round (%s) is still open at teardown with %d arrivals",
+			st.round.op, open)
+	}
 	for dst, m := range w.mq {
 		for key, q := range m {
 			check.Assertf(q.arrivals.n == 0, "mpi", "mailbox-drain",
@@ -46,9 +55,11 @@ func (w *World) AuditTeardown() {
 				dst, q.recvs.n, key.src, key.tag)
 		}
 	}
-	for _, s := range w.sends {
-		check.Assertf(s.req.Done(), "mpi", "send-completion",
-			"send %d->%d tag %d never completed", s.src, s.dst, s.tag)
+	for _, pool := range w.allPools() {
+		for _, s := range pool.sends {
+			check.Assertf(s.req.Done(), "mpi", "send-completion",
+				"send %d->%d tag %d never completed", s.src, s.dst, s.tag)
+		}
 	}
 
 	var sent, recvd, bytes int64
@@ -57,7 +68,7 @@ func (w *World) AuditTeardown() {
 		recvd += w.meters[i].MsgsRecvd
 		bytes += w.meters[i].BytesSent
 	}
-	c := w.net.Census
+	c := w.net.CensusTotal()
 	check.Assertf(sent == c.LocalMsgs+c.RemoteMsgs, "mpi", "census-msgs",
 		"meters record %d sends but the census counted %d (%d local + %d remote)",
 		sent, c.LocalMsgs+c.RemoteMsgs, c.LocalMsgs, c.RemoteMsgs)
@@ -66,6 +77,19 @@ func (w *World) AuditTeardown() {
 		bytes, c.LocalBytes+c.RemoteBytes, c.LocalBytes, c.RemoteBytes)
 	check.Assertf(recvd == sent, "mpi", "census-recvd",
 		"%d messages sent but %d received at teardown", sent, recvd)
+}
+
+// allPools returns every request pool of the world — the single legacy pool
+// or the per-shard pools — for the teardown sweep.
+func (w *World) allPools() []*reqPool {
+	if st := w.shard; st != nil {
+		out := make([]*reqPool, len(st.pools))
+		for i := range st.pools {
+			out[i] = &st.pools[i]
+		}
+		return out
+	}
+	return []*reqPool{&w.pool}
 }
 
 func openOp(b *barrierState) string {

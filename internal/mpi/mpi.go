@@ -22,6 +22,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 
 	"amrtools/internal/check"
 	"amrtools/internal/sim"
@@ -60,9 +61,23 @@ const (
 	WaitRecv
 )
 
+// reqPool is one request free list plus its paranoid send log. The legacy
+// single-engine world owns one; the sharded world owns one per shard, so
+// requests never cross shards and PR-4's zero-allocation steady state
+// survives parallel execution without any locking.
+type reqPool struct {
+	// reqFree is the request free list: Wait returns completed requests
+	// here (outside paranoid mode) and Isend/Irecv reuse them, so steady
+	// state allocates no request or future per message.
+	reqFree []*Request
+	// sends tracks every posted send request for the teardown audit
+	// (populated only when paranoid).
+	sends []sendRecord
+}
+
 // World is one simulated MPI job: a set of ranks over a Network.
 type World struct {
-	eng    *sim.Engine
+	eng    *sim.Engine // single-engine mode; nil in sharded mode
 	net    *simnet.Network
 	nranks int
 
@@ -71,13 +86,14 @@ type World struct {
 
 	// mq[dst] holds the per-(source, tag) matching state of rank dst:
 	// arrived-but-unmatched messages and posted-but-unmatched receives.
-	// Matching is FIFO per key.
+	// Matching is FIFO per key. Only rank dst's shard ever touches
+	// mq[dst] — deliveries execute on the destination's engine — so the
+	// matching state needs no locking in sharded mode.
 	mq []map[msgKey]*matchQueue
 
-	// reqFree is the request free list: Wait returns completed requests
-	// here (outside paranoid mode) and Isend/Irecv reuse them, so steady
-	// state allocates no request or future per message.
-	reqFree []*Request
+	// pool is the single-engine request pool; sharded worlds use the
+	// per-shard pools in shard instead.
+	pool reqPool
 	// barFree holds retired collective rounds for reuse. At most two rounds
 	// can be live at once (ranks may enter round k+1 before the slowest rank
 	// has departed round k), so this list stays tiny.
@@ -85,10 +101,14 @@ type World struct {
 
 	barrier *barrierState
 
-	// OnWait, when set, observes every blocking Wait (rank, kind,
-	// duration). The telemetry collector hooks in here to catch the
-	// MPI_Wait spikes of Fig 1b.
-	OnWait func(rank int, kind WaitKind, dur float64)
+	// shard is the sharded-scheduler state (nil in single-engine mode).
+	shard *shardState
+
+	// OnWait, when set, observes every blocking Wait (rank, kind, end
+	// time, duration). The telemetry collector hooks in here to catch the
+	// MPI_Wait spikes of Fig 1b; the end time lets the sharded driver
+	// merge per-rank wait logs deterministically.
+	OnWait func(rank int, kind WaitKind, t sim.Time, dur float64)
 
 	// tracer, when non-nil, receives a span for every communicator
 	// operation — the flight recorder of internal/trace. The nil check at
@@ -101,9 +121,41 @@ type World struct {
 	// also disables request recycling: the teardown audit holds request
 	// pointers, so reuse would launder a lost completion.
 	paranoid bool
-	// sends tracks every posted send request for the teardown audit
-	// (populated only when paranoid).
-	sends []sendRecord
+}
+
+// shardState is the sharded world's coordinator-side state: rank-to-shard
+// routing, per-shard pools and collective outboxes, and the current
+// collective round. Outboxes are appended by shard executors during a
+// window and drained by the coordinator at the merge; everything else is
+// coordinator-only.
+type shardState struct {
+	s           *sim.Shards
+	shardOfRank []int32
+	engOf       []*sim.Engine
+	pools       []reqPool
+	// msgSeq is the per-source-rank program-order stamp for staged
+	// cross-shard deliveries — the deterministic merge tie-break.
+	msgSeq []int64
+	// outColl stages collective arrivals per shard until the next merge.
+	outColl [][]collArrival
+	round   collRound
+}
+
+// collArrival is one rank's arrival at the current collective round.
+type collArrival struct {
+	t    sim.Time
+	v    float64 // allreduce contribution (0 for barriers)
+	rank int32
+	op   string
+	c    *Comm
+}
+
+// collRound accumulates arrivals at the coordinator until every rank has
+// joined, then releases (see completeRound).
+type collRound struct {
+	arrivals []collArrival
+	members  []bool // paranoid double-join tracking
+	op       string
 }
 
 type msgKey struct{ src, tag int }
@@ -141,13 +193,58 @@ func NewWorld(eng *sim.Engine, net *simnet.Network) *World {
 	return w
 }
 
+// NewShardedWorld creates a world over the conservative parallel scheduler:
+// one rank per network endpoint, ranks routed to the shard hosting their
+// node (shardOfNode must match the mapping the network was built with).
+// Per-rank state — meters, RNG streams (split in rank order, identical to
+// single-engine mode), matching queues — is only ever touched by the
+// owning shard; requests pool per shard; collectives stage arrivals
+// through per-shard outboxes and complete on the coordinator at window
+// merges, so the released order and the reduced sum are fixed by (arrival
+// time, rank), not by worker scheduling.
+func NewShardedWorld(s *sim.Shards, net *simnet.Network, shardOfNode []int32) *World {
+	n := net.NumRanks()
+	w := &World{
+		net:    net,
+		nranks: n,
+		meters: make([]Meter, n),
+		rngs:   make([]*xrand.RNG, n),
+		mq:     make([]map[msgKey]*matchQueue, n),
+	}
+	w.paranoid = check.Forced()
+	seedRoot := xrand.New(net.Config().Seed ^ 0x5eed)
+	st := &shardState{
+		s:           s,
+		shardOfRank: make([]int32, n),
+		engOf:       make([]*sim.Engine, n),
+		pools:       make([]reqPool, s.NumShards()),
+		msgSeq:      make([]int64, n),
+		outColl:     make([][]collArrival, s.NumShards()),
+	}
+	rpn := net.Config().RanksPerNode
+	for i := 0; i < n; i++ {
+		w.rngs[i] = seedRoot.Split()
+		w.mq[i] = make(map[msgKey]*matchQueue)
+		sh := shardOfNode[i/rpn]
+		st.shardOfRank[i] = sh
+		st.engOf[i] = s.Engine(int(sh))
+	}
+	for _, eng := range s.Engines() {
+		eng.SetSink(w)
+	}
+	w.shard = st
+	s.OnMerge(w.mergeCollectives)
+	return w
+}
+
 // NumRanks returns the number of ranks.
 func (w *World) NumRanks() int { return w.nranks }
 
 // Net returns the underlying network.
 func (w *World) Net() *simnet.Network { return w.net }
 
-// Engine returns the underlying simulation engine.
+// Engine returns the underlying simulation engine (nil for a sharded
+// world, whose ranks live on per-shard engines).
 func (w *World) Engine() *sim.Engine { return w.eng }
 
 // Meter returns rank's accumulator.
@@ -162,8 +259,14 @@ func (w *World) Spawn(rank int, body func(c *Comm)) {
 	if rank < 0 || rank >= w.nranks {
 		panic(fmt.Sprintf("mpi: spawn of invalid rank %d", rank))
 	}
-	w.eng.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
-		body(&Comm{w: w, rank: rank, p: p})
+	eng, shard, pool := w.eng, int32(0), &w.pool
+	if st := w.shard; st != nil {
+		shard = st.shardOfRank[rank]
+		eng = st.engOf[rank]
+		pool = &st.pools[shard]
+	}
+	eng.Spawn(fmt.Sprintf("rank%d", rank), func(p *sim.Proc) {
+		body(&Comm{w: w, rank: rank, p: p, eng: eng, shard: shard, pool: pool})
 	})
 }
 
@@ -187,12 +290,13 @@ type Request struct {
 // Done reports whether the request has completed.
 func (r *Request) Done() bool { return r.fut.Done() }
 
-// newRequest returns a reset request from the free list, or a fresh one.
-func (w *World) newRequest(kind WaitKind, bytes, peer, tag int) *Request {
+// newRequest returns a reset request from the caller's shard pool, or a
+// fresh one.
+func (c *Comm) newRequest(kind WaitKind, bytes, peer, tag int) *Request {
 	var r *Request
-	if n := len(w.reqFree); n > 0 {
-		r = w.reqFree[n-1]
-		w.reqFree = w.reqFree[:n-1]
+	if n := len(c.pool.reqFree); n > 0 {
+		r = c.pool.reqFree[n-1]
+		c.pool.reqFree = c.pool.reqFree[:n-1]
 		r.fut.Reset()
 		r.freed = false
 	} else {
@@ -205,15 +309,15 @@ func (w *World) newRequest(kind WaitKind, bytes, peer, tag int) *Request {
 	return r
 }
 
-// release returns a completed, waited-on request to the free list. Paranoid
-// mode keeps requests alive instead: the teardown audit asserts on the very
-// pointers it recorded at Isend.
-func (w *World) release(r *Request) {
-	if w.paranoid {
+// release returns a completed, waited-on request to its shard's free list.
+// Paranoid mode keeps requests alive instead: the teardown audit asserts on
+// the very pointers it recorded at Isend.
+func (c *Comm) release(r *Request) {
+	if c.w.paranoid {
 		return
 	}
 	r.freed = true
-	w.reqFree = append(w.reqFree, r)
+	c.pool.reqFree = append(c.pool.reqFree, r)
 }
 
 // Comm is a rank-bound communicator; all calls must happen on the rank's
@@ -222,6 +326,18 @@ type Comm struct {
 	w    *World
 	rank int
 	p    *sim.Proc
+
+	// eng is the engine carrying this rank's events (the world engine, or
+	// the rank's shard engine), and pool the request pool it draws from.
+	eng   *sim.Engine
+	pool  *reqPool
+	shard int32
+
+	// collFut/collSum are this rank's pooled collective future and
+	// allreduce result in sharded mode: the coordinator completes collFut
+	// at the release time and deposits the reduced sum in collSum.
+	collFut sim.Future
+	collSum float64
 }
 
 // Rank returns the caller's rank id.
@@ -263,7 +379,7 @@ func (c *Comm) Isend(dst, tag, bytes int) *Request {
 	m.MsgsSent++
 	m.BytesSent += int64(bytes)
 	plan := w.net.PlanSend(c.rank, dst, bytes)
-	req := w.newRequest(WaitSend, bytes, dst, tag)
+	req := c.newRequest(WaitSend, bytes, dst, tag)
 	src := c.rank
 	if tr := w.tracer; tr != nil {
 		now := float64(c.p.Now())
@@ -271,16 +387,27 @@ func (c *Comm) Isend(dst, tag, bytes int) *Request {
 			Peer: int32(dst), Bytes: int64(bytes), Tag: int32(tag)})
 	}
 	if w.paranoid {
-		w.sends = append(w.sends, sendRecord{req: req, src: src, dst: dst, tag: tag})
+		c.pool.sends = append(c.pool.sends, sendRecord{req: req, src: src, dst: dst, tag: tag})
 	}
 	// The two per-message events, as typed payloads: sender-buffer release
 	// completes the request's inline future; delivery routes back through
 	// DeliverMsg. Scheduling order (sender-done first) fixes the (t, seq)
 	// tie-break, so the event sequence is identical to the closure era.
-	now := w.eng.Now()
-	w.eng.CompleteAt(now+plan.SenderDoneAfter, &req.fut)
-	w.eng.DeliverAt(now+plan.DeliverAfter,
-		int32(src), int32(dst), int32(tag), int64(bytes), plan.Local)
+	now := c.eng.Now()
+	c.eng.CompleteAt(now+plan.SenderDoneAfter, &req.fut)
+	if st := w.shard; st != nil && !plan.Local {
+		// Cross-node, therefore possibly cross-shard: the delivery detours
+		// through the coordinator's staging buffer even when source and
+		// destination happen to share a shard, so the injected event order —
+		// and with it every table — is independent of the shard count.
+		seq := st.msgSeq[src]
+		st.msgSeq[src] = seq + 1
+		st.s.StageDelivery(int(c.shard), int(st.shardOfRank[dst]), now+plan.DeliverAfter,
+			int32(src), int32(dst), int32(tag), int64(bytes), seq)
+	} else {
+		c.eng.DeliverAt(now+plan.DeliverAfter,
+			int32(src), int32(dst), int32(tag), int64(bytes), plan.Local)
+	}
 	return req
 }
 
@@ -288,16 +415,27 @@ func (c *Comm) Isend(dst, tag, bytes int) *Request {
 // its destination, releases the fabric-side delivery state, and matches the
 // message against posted receives or queues it.
 func (w *World) DeliverMsg(src, dst, tag int32, bytes int64, local bool) {
+	// DeliveryDone only touches state for local messages, whose source node
+	// is the destination's node — so in sharded mode this stays on the
+	// executing shard, like the matching state below (owned by dst).
 	w.net.DeliveryDone(int(src), simnet.SendPlan{Local: local})
 	q := w.queueFor(int(dst), msgKey{src: int(src), tag: int(tag)})
 	if q.recvs.n > 0 {
 		req := q.recvs.pop()
 		req.bytes = int(bytes)
 		w.meters[dst].MsgsRecvd++
-		req.fut.Complete(w.eng)
+		req.fut.Complete(w.engFor(dst))
 		return
 	}
 	q.arrivals.push(bytes)
+}
+
+// engFor returns the engine carrying a rank's events.
+func (w *World) engFor(rank int32) *sim.Engine {
+	if st := w.shard; st != nil {
+		return st.engOf[rank]
+	}
+	return w.eng
 }
 
 // Irecv posts a non-blocking receive for a message from src with the given
@@ -308,7 +446,7 @@ func (c *Comm) Irecv(src, tag int) *Request {
 		panic(fmt.Sprintf("mpi: rank %d Irecv from invalid peer rank %d (world has %d ranks)",
 			c.rank, src, w.nranks))
 	}
-	req := w.newRequest(WaitRecv, 0, src, tag)
+	req := c.newRequest(WaitRecv, 0, src, tag)
 	if tr := w.tracer; tr != nil {
 		now := float64(c.p.Now())
 		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Irecv, T0: now, T1: now,
@@ -318,7 +456,7 @@ func (c *Comm) Irecv(src, tag int) *Request {
 	if q.arrivals.n > 0 {
 		req.bytes = int(q.arrivals.pop())
 		w.meters[c.rank].MsgsRecvd++
-		req.fut.Complete(w.eng)
+		req.fut.Complete(c.eng)
 		return req
 	}
 	q.recvs.push(req)
@@ -350,10 +488,10 @@ func (c *Comm) Wait(req *Request) {
 				Peer: req.peer, Bytes: int64(req.bytes), Tag: req.tag})
 		}
 		if c.w.OnWait != nil {
-			c.w.OnWait(c.rank, req.kind, dur)
+			c.w.OnWait(c.rank, req.kind, c.p.Now(), dur)
 		}
 	}
-	c.w.release(req)
+	c.release(req)
 }
 
 // WaitAll waits on every request in order.
@@ -444,13 +582,17 @@ func (w *World) joinCollective(op string, rank int) *barrierState {
 // synchronization phase.
 func (c *Comm) Barrier() {
 	w := c.w
+	if w.shard != nil && w.nranks > 1 {
+		c.shardCollective("barrier", trace.Barrier, 0)
+		return
+	}
 	b := w.joinCollective("barrier", c.rank)
 	arrivedAt := c.p.Now()
 	sp := w.tracer.Begin(int32(c.rank), trace.Barrier, float64(arrivedAt))
 	if b.arrived == w.nranks {
 		w.barrier = nil // next Barrier call starts a new round
 		release := w.net.CollectiveLatency(w.nranks)
-		w.eng.CompleteAfter(release, &b.fut)
+		c.eng.CompleteAfter(release, &b.fut)
 	}
 	c.p.Await(&b.fut)
 	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
@@ -466,6 +608,9 @@ func (c *Comm) Barrier() {
 // the straggler.
 func (c *Comm) AllreduceSum(v float64) float64 {
 	w := c.w
+	if w.shard != nil && w.nranks > 1 {
+		return c.shardCollective("allreduce", trace.Allreduce, v)
+	}
 	b := w.joinCollective("allreduce", c.rank)
 	b.sum += v
 	arrivedAt := c.p.Now()
@@ -473,7 +618,7 @@ func (c *Comm) AllreduceSum(v float64) float64 {
 	if b.arrived == w.nranks {
 		w.barrier = nil
 		release := 2 * w.net.CollectiveLatency(w.nranks)
-		w.eng.CompleteAfter(release, &b.fut)
+		c.eng.CompleteAfter(release, &b.fut)
 	}
 	c.p.Await(&b.fut)
 	sum := b.sum
@@ -481,6 +626,125 @@ func (c *Comm) AllreduceSum(v float64) float64 {
 	w.depart(b)
 	sp.End(float64(c.p.Now()))
 	return sum
+}
+
+// shardCollective is the sharded arrival side of Barrier/AllreduceSum: the
+// rank stages its arrival in its shard's outbox and blocks on its pooled
+// collective future; the coordinator completes the round at a window merge
+// (mergeCollectives). Single-rank worlds never take this path — their
+// collectives complete locally through the legacy round state, which also
+// keeps the zero-latency release (CollectiveLatency(1) == 0) on the rank's
+// own engine.
+func (c *Comm) shardCollective(op string, kind trace.Kind, v float64) float64 {
+	w, st := c.w, c.w.shard
+	// Safe: the previous round released and this rank resumed, so no waiter
+	// can be pending on the pooled future.
+	c.collFut.Reset()
+	arrivedAt := c.p.Now()
+	sp := w.tracer.Begin(int32(c.rank), kind, float64(arrivedAt))
+	st.outColl[c.shard] = append(st.outColl[c.shard],
+		collArrival{t: arrivedAt, v: v, rank: int32(c.rank), op: op, c: c})
+	c.p.Await(&c.collFut)
+	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
+	sp.End(float64(c.p.Now()))
+	return c.collSum
+}
+
+// mergeCollectives is the world's merge hook (sim.Shards.OnMerge): it
+// drains every shard's arrival outbox into the current round and, once all
+// ranks joined, releases the round. Rounds are globally sequential — no
+// rank can arrive at round k+1 before round k's release resumed it — so
+// one accumulator suffices.
+func (w *World) mergeCollectives(horizon sim.Time) {
+	st := w.shard
+	for sh := range st.outColl {
+		for i := range st.outColl[sh] {
+			w.addArrival(st.outColl[sh][i])
+		}
+		st.outColl[sh] = st.outColl[sh][:0]
+	}
+	if len(st.round.arrivals) >= w.nranks {
+		w.completeRound()
+	}
+}
+
+// addArrival registers one arrival at the coordinator, enforcing the same
+// collective-op and (paranoid) membership invariants joinCollective does
+// inline in single-engine mode.
+func (w *World) addArrival(a collArrival) {
+	r := &w.shard.round
+	if len(r.arrivals) == 0 {
+		r.op = a.op
+	} else if r.op != a.op {
+		check.Failf("mpi", "collective-op",
+			"mismatched collectives in one round: %s vs %s", r.op, a.op)
+	}
+	if w.paranoid {
+		if r.members == nil {
+			r.members = make([]bool, w.nranks)
+		}
+		check.Assertf(!r.members[a.rank], "mpi", "collective-membership",
+			"rank %d joined the same %s round twice (arrival %d/%d): a duplicate arrival releases the collective with another rank still missing",
+			a.rank, a.op, len(r.arrivals)+1, w.nranks)
+		r.members[a.rank] = true
+	}
+	r.arrivals = append(r.arrivals, a)
+}
+
+// completeRound releases the current collective round: arrivals sort by
+// (time, rank) — the deterministic, shard-count-independent order — the
+// allreduce sum reduces in that order, and one silent release event per
+// participating shard completes its ranks' futures in rank order at
+// last-arrival + tree latency. The round costs one coordinator-accounted
+// event, matching the single release event of the sequential engine.
+func (w *World) completeRound() {
+	st := w.shard
+	r := &st.round
+	arr := r.arrivals
+	sort.Slice(arr, func(i, j int) bool {
+		if arr[i].t != arr[j].t {
+			return arr[i].t < arr[j].t
+		}
+		return arr[i].rank < arr[j].rank
+	})
+	tLast := arr[len(arr)-1].t
+	var sum float64
+	for i := range arr {
+		sum += arr[i].v
+	}
+	release := w.net.CollectiveLatency(w.nranks)
+	if r.op == "allreduce" {
+		release *= 2 // reduce + broadcast
+	}
+	tRel := tLast + release
+	// Re-sort by rank: shards hold contiguous rank ranges, so rank order is
+	// also shard-grouped, giving one injection per participating shard.
+	sort.Slice(arr, func(i, j int) bool { return arr[i].rank < arr[j].rank })
+	for i := 0; i < len(arr); {
+		sh := st.shardOfRank[arr[i].rank]
+		j := i
+		for j < len(arr) && st.shardOfRank[arr[j].rank] == sh {
+			j++
+		}
+		group := make([]*Comm, 0, j-i)
+		for _, a := range arr[i:j] {
+			group = append(group, a.c)
+		}
+		eng := st.engOf[arr[i].rank]
+		st.s.InjectAt(int(sh), tRel, func() {
+			for _, c := range group {
+				c.collSum = sum
+				c.collFut.Complete(eng)
+			}
+		})
+		i = j
+	}
+	st.s.AddCoordinatorEvents(1)
+	r.arrivals = r.arrivals[:0]
+	r.op = ""
+	for i := range r.members {
+		r.members[i] = false
+	}
 }
 
 // Compute runs a compute kernel of the given nominal cost (seconds on a
@@ -538,4 +802,4 @@ func (c *Comm) ChargeRebalance(d float64) {
 
 // IntraRank records a co-located block-pair exchange (memcpy, no MPI
 // message, negligible time at these block sizes).
-func (c *Comm) IntraRank() { c.w.net.RecordIntraRank() }
+func (c *Comm) IntraRank() { c.w.net.RecordIntraRank(c.rank) }

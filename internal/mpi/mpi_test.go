@@ -156,7 +156,7 @@ func TestOnWaitHookObservesSpikes(t *testing.T) {
 	cfg.Jitter = 0
 	eng, w := newWorld(t, cfg)
 	var sendWaits []float64
-	w.OnWait = func(rank int, kind WaitKind, dur float64) {
+	w.OnWait = func(rank int, kind WaitKind, t sim.Time, dur float64) {
 		if kind == WaitSend {
 			sendWaits = append(sendWaits, dur)
 		}

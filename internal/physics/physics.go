@@ -63,7 +63,6 @@ type SedovBlastWave struct {
 	StepNoise float64
 
 	seed uint64
-	rng  *xrand.RNG
 }
 
 // NewSedov builds a Sedov problem for a mesh with the given root dims,
@@ -87,7 +86,6 @@ func NewSedov(rootDims [3]int, totalSteps int, seed uint64) *SedovBlastWave {
 		CostNoise:  0.3,
 		StepNoise:  0.05,
 		seed:       seed,
-		rng:        xrand.New(seed),
 	}
 }
 
@@ -98,6 +96,21 @@ func blockFactor(id mesh.BlockID, seed uint64, sigma float64) float64 {
 		return 1
 	}
 	h := seed ^ (uint64(id.Level) * 0x9e3779b97f4a7c15)
+	h ^= uint64(id.X)<<42 | uint64(id.Y)<<21 | uint64(id.Z)
+	return xrand.New(h).LogNormal(0, sigma)
+}
+
+// stepFactor is the per-(block, step) cost multiplier — kernel noise redrawn
+// every step. Like blockFactor it is a pure hash of its inputs rather than a
+// draw from a shared stream: cost queries must not depend on the order ranks
+// happen to evaluate them (concurrent rank programs would race on a shared
+// RNG and perturb results with the scheduler's interleaving).
+func stepFactor(id mesh.BlockID, step int, seed uint64, sigma float64) float64 {
+	if sigma == 0 {
+		return 1
+	}
+	h := seed ^ 0xa24baed4963ee407 ^ (uint64(step)+1)*0xd6e8feb86659fd93
+	h ^= uint64(id.Level) * 0x9e3779b97f4a7c15
 	h ^= uint64(id.X)<<42 | uint64(id.Y)<<21 | uint64(id.Z)
 	return xrand.New(h).LogNormal(0, sigma)
 }
@@ -192,9 +205,7 @@ func (s *SedovBlastWave) Cost(id mesh.BlockID, step int) float64 {
 	d := s.frontDistance(id, step)
 	base := 1 + (s.PeakCost-1)*math.Exp(-d/s.ShellWidth)
 	base *= blockFactor(id, s.seed, s.CostNoise)
-	if s.StepNoise > 0 {
-		base *= s.rng.LogNormal(0, s.StepNoise)
-	}
+	base *= stepFactor(id, step, s.seed, s.StepNoise)
 	return base
 }
 
@@ -213,7 +224,6 @@ type GalaxyCooling struct {
 	CostNoise float64
 
 	seed uint64
-	rng  *xrand.RNG
 }
 
 // NewCooling builds a cooling problem with nClumps random hot spots.
@@ -235,7 +245,6 @@ func NewCooling(rootDims [3]int, nClumps int, seed uint64) *GalaxyCooling {
 		ClumpRadius: 0.8,
 		PeakCost:    3,
 		CostNoise:   0.1,
-		rng:         rng,
 	}
 }
 

@@ -216,3 +216,79 @@ func TestPartitionHilbertMortonAgreement(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionMaxDepthKeys exercises the extremes of the key space: keys at
+// the deepest representable level (MaxLevel3D), including the corner block
+// whose key is the largest encodable Morton code. Lookups below the first
+// key and at ^uint64(0) must resolve — the first range starts at 0 and the
+// last is closed at the top of the space.
+func TestPartitionMaxDepthKeys(t *testing.T) {
+	const maxC = uint32(1<<sfc.MaxLevel3D - 1) // deepest-level coordinate max
+	coords := [][3]uint32{
+		{0, 0, 1}, {1, 2, 3}, {maxC / 2, 1, maxC / 3}, {maxC, maxC - 1, maxC}, {maxC, maxC, maxC},
+	}
+	keys := make([]uint64, len(coords))
+	for i, c := range coords {
+		keys[i] = sfc.Key3DAtLevel(c[0], c[1], c[2], sfc.MaxLevel3D, sfc.MaxLevel3D)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, nranks := range []int{1, 2, 3, 5, 8} {
+		checkAgainstBrute(t, keys, nranks)
+		p := sfc.PartitionByCount(keys, nranks)
+		// Keys strictly below the first block key belong to the first
+		// non-empty rank; the very top of the space to the last.
+		if got := p.Owner(0); got != 0 {
+			t.Fatalf("nranks=%d: Owner(0) = %d, want 0", nranks, got)
+		}
+		last := bruteOwner(len(keys)-1, len(keys), nranks)
+		if got := p.Owner(^uint64(0)); got != last {
+			t.Fatalf("nranks=%d: Owner(max) = %d, want %d", nranks, got, last)
+		}
+		if _, end, ok := p.Range(last); !ok || end != ^uint64(0) {
+			t.Fatalf("nranks=%d: last range end = %#x ok=%v, want top-closed", nranks, end, ok)
+		}
+	}
+}
+
+// TestPartitionRoutingCoversWholeSpace: for every rank count, every probe
+// key in the space resolves to exactly one rank whose Range contains it —
+// the routing invariant the distributed directory's two-hop lookup rests on.
+func TestPartitionRoutingCoversWholeSpace(t *testing.T) {
+	rng := xrand.New(99)
+	keys := make([]uint64, 33)
+	seen := map[uint64]bool{}
+	for i := range keys {
+		k := rng.Uint64()
+		for seen[k] {
+			k = rng.Uint64()
+		}
+		seen[k] = true
+		keys[i] = k
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	probes := append([]uint64{0, 1, ^uint64(0)}, keys...)
+	for i := range keys {
+		probes = append(probes, keys[i]-1, keys[i]+1)
+	}
+	for _, nranks := range []int{1, 2, 3, 8, 33, 64} {
+		p := sfc.PartitionByCount(keys, nranks)
+		for _, k := range probes {
+			owner := p.Owner(k)
+			holders := 0
+			for r := 0; r < nranks; r++ {
+				if start, end, ok := p.Range(r); ok && k >= start && k < end {
+					holders++
+					if r != owner {
+						t.Fatalf("nranks=%d: key %#x in rank %d's range but Owner=%d",
+							nranks, k, r, owner)
+					}
+				}
+			}
+			// The top key sits in the last (top-closed) range, whose
+			// half-open Range() reports end=^uint64(0); it is still owned.
+			if holders != 1 && k != ^uint64(0) {
+				t.Fatalf("nranks=%d: key %#x held by %d ranges", nranks, k, holders)
+			}
+		}
+	}
+}

@@ -22,10 +22,20 @@
 // to schedule them.
 package sim
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Time is virtual time in seconds.
 type Time = float64
+
+// ErrInterrupted is the panic value raised by Run (and Shards.Run) when the
+// interrupt hook installed with SetInterrupt reports true. Callers that want
+// to cancel a simulation (the campaign harness's timeout path) recover it,
+// close the machine, and turn it into a run error; any other panic value
+// still propagates.
+var ErrInterrupted = errors.New("sim: run interrupted")
 
 // evKind discriminates the payload variants of a scheduled event.
 type evKind uint8
@@ -39,6 +49,12 @@ const (
 	evFuture
 	// evMsg delivers a message payload to the engine's registered MsgSink.
 	evMsg
+	// evSilent executes a closure without counting it in Events(). The
+	// sharded scheduler injects coordinator-originated work (collective
+	// releases) with it and accounts the work once at the coordinator, so
+	// Events() stays equal to the sequential engine's count for any shard
+	// count.
+	evSilent
 )
 
 // event is a heap entry: ordering key plus an index into the engine's body
@@ -145,6 +161,7 @@ type Engine struct {
 	sink    MsgSink  // receiver of evMsg payloads (set once by the MPI world)
 	procs   []*Proc  // all spawned processes, for Close
 	running bool
+	intr    func() bool // optional cancellation poll (see SetInterrupt)
 }
 
 // NewEngine returns an empty engine at time 0.
@@ -222,6 +239,33 @@ func (e *Engine) DeliverAt(t Time, src, dst, tag int32, bytes int64, local bool)
 	e.schedule(t, evBody{kind: evMsg, src: src, dst: dst, tag: tag, bytes: bytes, local: local})
 }
 
+// SetInterrupt installs a cancellation poll. Run (and the sharded
+// scheduler's window loop) calls fn periodically — every few thousand events,
+// so a hot simulation pays one predictable branch per event — and panics
+// with ErrInterrupted when it reports true. fn is called from the engine
+// goroutine; it must be safe to call concurrently with whatever sets the
+// underlying flag (an atomic, like harness.Meter.Aborted).
+func (e *Engine) SetInterrupt(fn func() bool) { e.intr = fn }
+
+// injectSilent schedules fn at t without counting it as an executed event.
+// Only the sharded coordinator uses it (between windows), so unlike the
+// public scheduling API it asserts t is not in the shard's past — that would
+// mean the window-safety invariant was already violated upstream.
+func (e *Engine) injectSilent(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: silent injection at %v before now %v", t, e.now))
+	}
+	e.schedule(t, evBody{kind: evSilent, fn: fn})
+}
+
+// nextTime returns the time of the earliest pending event, if any.
+func (e *Engine) nextTime() (Time, bool) {
+	if len(e.pq) == 0 {
+		return 0, false
+	}
+	return e.pq[0].t, true
+}
+
 // schedProc schedules a process resume at absolute time t.
 func (e *Engine) schedProc(t Time, p *Proc) {
 	if t < e.now {
@@ -250,6 +294,9 @@ func (e *Engine) Step() bool {
 		b.fut.Complete(e)
 	case evMsg:
 		e.sink.DeliverMsg(b.src, b.dst, b.tag, b.bytes, b.local)
+	case evSilent:
+		e.events-- // coordinator-accounted; see evSilent
+		b.fn()
 	default:
 		panic("sim: unknown event kind")
 	}
@@ -265,9 +312,22 @@ func (e *Engine) Run() Time {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for e.Step() {
+	for n := 0; e.Step(); n++ {
+		if n&4095 == 0 && e.intr != nil && e.intr() {
+			panic(ErrInterrupted)
+		}
 	}
 	return e.now
+}
+
+// runWindow executes events strictly before until — one lookahead window of
+// the sharded scheduler. Events at or beyond the window edge stay queued;
+// the clock is left at the last executed event (not advanced to the edge),
+// so injections landing inside (now, until) remain schedulable.
+func (e *Engine) runWindow(until Time) {
+	for len(e.pq) > 0 && e.pq[0].t < until {
+		e.Step()
+	}
 }
 
 // RunUntil executes events with time <= t, then sets the clock to t.

@@ -1,0 +1,371 @@
+// Conservative parallel DES: node-sharded event queues under a
+// lookahead-window scheduler.
+//
+// The sequential Engine executes one global (t, seq) heap; at large rank
+// counts that single heap is the wall-clock bottleneck (ROADMAP item 4).
+// Shards splits the simulated cluster into groups of nodes, giving each
+// group its own Engine, and exploits the physical property that ranks on
+// different nodes can only interact through the fabric: every cross-node
+// message is delayed by at least the network's lookahead bound L
+// (simnet.Config.Lookahead — RemoteLatency, with per-message overhead on
+// top). Events less than L apart on different shards are therefore causally
+// independent and may execute in any order — including concurrently.
+//
+// The scheduler alternates two phases:
+//
+//	window  — every shard with an event before the window edge
+//	          W + L executes its events strictly below the edge
+//	          (W = earliest pending event across shards). Shards touch only
+//	          their own state; cross-shard sends are appended to a per-shard
+//	          staging buffer, never delivered directly.
+//	merge   — on the coordinator goroutine: staged messages are sorted by
+//	          (t, src rank, per-source sequence) and injected into their
+//	          destination shards, then the registered merge hooks run (the
+//	          MPI layer completes collective rounds, the driver flushes
+//	          per-rank table rows). Each injection is audited against the
+//	          window-safety invariant: nothing may land before the merged
+//	          horizon, because events below it already executed.
+//
+// Determinism does not depend on the execution mode of a window (inline on
+// the coordinator vs fanned out to the worker pool): events inside a window
+// are pairwise independent across shards, each shard's own order is fixed by
+// its heap, and the merge order is fixed by sorting — so tables are
+// byte-identical for any shard count N >= 1 and any GOMAXPROCS.
+package sim
+
+import (
+	"math"
+	"sort"
+
+	"amrtools/internal/check"
+)
+
+// stagedMsg is one cross-shard message delivery parked in a staging buffer
+// until the next merge. The (t, src, seq) triple is the deterministic merge
+// key: seq is a per-source-rank program-order counter maintained by the MPI
+// layer, so ties at equal t between sources break by rank and within a
+// source by issue order — independent of shard count and worker scheduling.
+type stagedMsg struct {
+	t        Time
+	seq      int64
+	bytes    int64
+	src      int32
+	dst      int32
+	tag      int32
+	dstShard int32
+}
+
+// Shards is the conservative parallel scheduler: a fixed set of Engines
+// (one per node group) advanced in lockstep lookahead windows. Construct
+// with NewShards; all methods except the staging/injection APIs documented
+// otherwise must be called from the coordinator goroutine (the Run caller).
+type Shards struct {
+	engs      []*Engine
+	lookahead float64
+	horizon   Time  // end of the last executed window; injections must land at or beyond it
+	extra     int64 // coordinator-accounted events (completed collective rounds)
+	paranoid  bool
+
+	out     [][]stagedMsg // staged cross-shard deliveries, indexed by source shard
+	scratch []stagedMsg   // merge-time sort buffer, reused across windows
+	active  []int         // shards with an event inside the current window, reused
+	hooks   []func(horizon Time)
+	intr    func() bool
+
+	// minParallel is the number of window-active shards at which the window
+	// fans out to the worker pool instead of running inline on the
+	// coordinator. Windows in the compute-spread phase of a BSP step usually
+	// hold a handful of events on one or two shards — fanning those out
+	// would cost more in handoffs than the events themselves — while
+	// barrier-release bursts activate every shard at once and parallelize
+	// well. Execution mode never affects results (see package comment).
+	minParallel int
+
+	workers []chan Time   // per-shard window commands (nil until first fan-out)
+	done    chan int      // worker completion notifications
+	panics  []interface{} // per-shard panic captured during a fanned-out window
+
+	running bool
+}
+
+// defaultMinParallel is the fan-out threshold; see Shards.minParallel.
+const defaultMinParallel = 2
+
+// NewShards builds n empty engines under a scheduler with the given
+// lookahead bound (seconds of virtual time; must be positive — the network
+// guarantees every cross-shard delivery is delayed by at least this much).
+func NewShards(n int, lookahead float64) *Shards {
+	if n < 1 {
+		panic("sim: NewShards with no shards")
+	}
+	if !(lookahead > 0) {
+		panic("sim: NewShards with non-positive lookahead")
+	}
+	s := &Shards{
+		engs:        make([]*Engine, n),
+		lookahead:   lookahead,
+		out:         make([][]stagedMsg, n),
+		minParallel: defaultMinParallel,
+		paranoid:    check.Forced(),
+	}
+	for i := range s.engs {
+		s.engs[i] = NewEngine()
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Shards) NumShards() int { return len(s.engs) }
+
+// Engine returns shard i's engine. Procs spawned on it must only touch
+// state owned by that shard between windows.
+func (s *Shards) Engine(i int) *Engine { return s.engs[i] }
+
+// Engines returns the per-shard engines, indexed by shard.
+func (s *Shards) Engines() []*Engine { return s.engs }
+
+// Lookahead returns the scheduler's lookahead bound.
+func (s *Shards) Lookahead() float64 { return s.lookahead }
+
+// SetParanoid enables the stage-time window-safety audit (the inject-time
+// audit is always on). The global check.Force override wins.
+func (s *Shards) SetParanoid(on bool) { s.paranoid = check.Enabled(on) }
+
+// SetInterrupt installs a cancellation poll, checked once per window; Run
+// panics with ErrInterrupted when it reports true.
+func (s *Shards) SetInterrupt(fn func() bool) { s.intr = fn }
+
+// SetMinParallel overrides the fan-out threshold (active shards per window
+// at which the worker pool engages). n <= 0 restores the default. Results
+// are independent of this knob; tests set 1 to force every multi-shard
+// window through the worker pool.
+func (s *Shards) SetMinParallel(n int) {
+	if n <= 0 {
+		n = defaultMinParallel
+	}
+	s.minParallel = n
+}
+
+// OnMerge registers a hook run on the coordinator after each window, once
+// staged deliveries are injected. Hooks run in registration order with the
+// merged horizon: every event with t < horizon has executed, and any work
+// the hook injects must land at or beyond it. The MPI layer registers its
+// collective-round completion here; the driver registers its table flush.
+func (s *Shards) OnMerge(fn func(horizon Time)) { s.hooks = append(s.hooks, fn) }
+
+// StageDelivery parks a cross-shard message delivery in the source shard's
+// staging buffer. Safe to call from srcShard's executor during a window (the
+// buffer is owned by that shard until the next merge). seq must be a
+// per-source-rank program-order counter — it is the deterministic tie-break
+// for equal-time deliveries from the same rank.
+func (s *Shards) StageDelivery(srcShard, dstShard int, t Time, src, dst, tag int32, bytes int64, seq int64) {
+	if s.paranoid {
+		// The conservative guarantee itself: a cross-shard effect must be at
+		// least one lookahead away from its cause, or the window that is
+		// about to execute on the destination shard could miss it.
+		now := s.engs[srcShard].now
+		check.Assertf(t >= now+s.lookahead, "sim", "window-safety",
+			"delivery %d->%d tag %d staged at t=%.9g, within lookahead %.3g of source shard %d clock %.9g",
+			src, dst, tag, t, s.lookahead, srcShard, now)
+	}
+	s.out[srcShard] = append(s.out[srcShard], stagedMsg{
+		t: t, seq: seq, bytes: bytes, src: src, dst: dst, tag: tag, dstShard: int32(dstShard),
+	})
+}
+
+// InjectAt schedules coordinator-originated work (a collective release) on a
+// shard. Only merge hooks may call it. The event is silent — the caller
+// accounts its work via AddCoordinatorEvents so Events() stays independent
+// of the shard count.
+func (s *Shards) InjectAt(shard int, t Time, fn func()) {
+	if t < s.horizon {
+		check.Failf("sim", "window-safety",
+			"coordinator injection on shard %d at t=%.9g before merged horizon %.9g",
+			shard, t, s.horizon)
+	}
+	s.engs[shard].injectSilent(t, fn)
+}
+
+// AddCoordinatorEvents accounts n units of coordinator work in Events().
+func (s *Shards) AddCoordinatorEvents(n int64) { s.extra += n }
+
+// Events returns the total executed events across shards plus the
+// coordinator-accounted work — comparable with Engine.Events for the same
+// simulated program.
+func (s *Shards) Events() int64 {
+	total := s.extra
+	for _, e := range s.engs {
+		total += e.Events()
+	}
+	return total
+}
+
+// Now returns the maximum shard clock — after Run, the simulated makespan.
+func (s *Shards) Now() Time {
+	var t Time
+	for _, e := range s.engs {
+		if e.Now() > t {
+			t = e.Now()
+		}
+	}
+	return t
+}
+
+// Blocked aggregates blocked processes across shards, in shard order.
+func (s *Shards) Blocked() []*Proc {
+	var out []*Proc
+	for _, e := range s.engs {
+		out = append(out, e.Blocked()...)
+	}
+	return out
+}
+
+// Close stops the worker pool and terminates all blocked processes on every
+// shard. The scheduler must not be used afterwards.
+func (s *Shards) Close() {
+	for _, cmd := range s.workers {
+		close(cmd)
+	}
+	s.workers = nil
+	for _, e := range s.engs {
+		e.Close()
+	}
+}
+
+// Run advances windows until every shard drains and no hook injects further
+// work, then returns the simulated makespan. Deadlocked processes are left
+// blocked; query Blocked() as with Engine.Run.
+func (s *Shards) Run() Time {
+	if s.running {
+		panic("sim: Run re-entered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for {
+		if s.intr != nil && s.intr() {
+			panic(ErrInterrupted)
+		}
+		// Merge first: the previous window's staged deliveries and any
+		// completed collective rounds are the only sources of new events, so
+		// the drain check below is authoritative only after hooks ran.
+		s.mergeStaged()
+		for _, h := range s.hooks {
+			h(s.horizon)
+		}
+		w := math.Inf(1)
+		for _, e := range s.engs {
+			if t, ok := e.nextTime(); ok && t < w {
+				w = t
+			}
+		}
+		if math.IsInf(w, 1) {
+			break // drained
+		}
+		end := w + s.lookahead
+		s.runOneWindow(end)
+		s.horizon = end
+	}
+	return s.Now()
+}
+
+// mergeStaged drains every shard's staging buffer, orders the deliveries by
+// (t, src, seq), audits each against the merged horizon, and injects them
+// into their destination engines. Injection order assigns destination-heap
+// sequence numbers, so equal-time deliveries replay identically for any
+// shard count.
+func (s *Shards) mergeStaged() {
+	sc := s.scratch[:0]
+	for i := range s.out {
+		sc = append(sc, s.out[i]...)
+		s.out[i] = s.out[i][:0]
+	}
+	if len(sc) == 0 {
+		s.scratch = sc
+		return
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].t != sc[j].t {
+			return sc[i].t < sc[j].t
+		}
+		if sc[i].src != sc[j].src {
+			return sc[i].src < sc[j].src
+		}
+		return sc[i].seq < sc[j].seq
+	})
+	for _, m := range sc {
+		if m.t < s.horizon {
+			check.Failf("sim", "window-safety",
+				"staged delivery %d->%d tag %d at t=%.9g merged after horizon %.9g already executed (lookahead %.3g)",
+				m.src, m.dst, m.tag, m.t, s.horizon, s.lookahead)
+		}
+		s.engs[m.dstShard].DeliverAt(m.t, m.src, m.dst, m.tag, m.bytes, false)
+	}
+	s.scratch = sc[:0]
+}
+
+// runOneWindow executes one window on every shard holding an event before
+// end — inline on the coordinator below the fan-out threshold, on the
+// worker pool at or above it.
+func (s *Shards) runOneWindow(end Time) {
+	act := s.active[:0]
+	for i, e := range s.engs {
+		if t, ok := e.nextTime(); ok && t < end {
+			act = append(act, i)
+		}
+	}
+	s.active = act
+	if len(act) < s.minParallel {
+		for _, i := range act {
+			s.engs[i].runWindow(end)
+		}
+		return
+	}
+	s.startWorkers()
+	for _, i := range act {
+		s.workers[i] <- end
+	}
+	for range act {
+		<-s.done
+	}
+	// Propagate the lowest panicking shard's value, matching the inline
+	// path's shard-order abort point: the panicking set is deterministic
+	// (each shard's window execution is), so the surfaced panic is too.
+	for _, i := range act {
+		if pv := s.panics[i]; pv != nil {
+			s.panics[i] = nil
+			panic(pv)
+		}
+	}
+}
+
+// startWorkers lazily spawns one worker goroutine per shard. A worker owns
+// its engine only between a window command and the matching completion
+// notification; the coordinator owns it otherwise, so engine state needs no
+// locking and every handoff is a happens-before edge.
+func (s *Shards) startWorkers() {
+	if s.workers != nil {
+		return
+	}
+	s.workers = make([]chan Time, len(s.engs))
+	s.done = make(chan int, len(s.engs))
+	s.panics = make([]interface{}, len(s.engs))
+	for i := range s.engs {
+		cmd := make(chan Time)
+		s.workers[i] = cmd
+		eng, id := s.engs[i], i
+		//lint:ignore determinism conservative-PDES worker pool: shards own disjoint engine state, cross-shard effects only move through the staged merge sorted by (t, src, seq), and the cmd/done channels give every window a fixed fork-join — so worker interleaving can never reach result tables
+		go func() {
+			for end := range cmd {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							s.panics[id] = r
+						}
+					}()
+					eng.runWindow(end)
+				}()
+				s.done <- id
+			}
+		}()
+	}
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"amrtools/internal/check"
+)
+
+// recordingSink captures delivery order on one engine.
+type recordingSink struct {
+	got [][3]int32 // (src, dst, tag) in execution order
+}
+
+func (s *recordingSink) DeliverMsg(src, dst, tag int32, bytes int64, local bool) {
+	s.got = append(s.got, [3]int32{src, dst, tag})
+}
+
+func TestShardsRunSleepers(t *testing.T) {
+	s := NewShards(3, 1e-6)
+	for i := 0; i < 3; i++ {
+		d := float64(i+1) * 1e-3
+		s.Engine(i).Spawn("p", func(p *Proc) {
+			for k := 0; k < 4; k++ {
+				p.Sleep(d)
+			}
+		})
+	}
+	end := s.Run()
+	if want := 4 * 3e-3; math.Abs(end-want) > 1e-12 {
+		t.Fatalf("makespan %v, want %v", end, want)
+	}
+	// 4 sleep-resume events per proc plus the spawn start event.
+	if ev := s.Events(); ev != 3*5 {
+		t.Fatalf("events = %d, want 15", ev)
+	}
+	if len(s.Blocked()) != 0 {
+		t.Fatalf("blocked procs after drain")
+	}
+	s.Close()
+}
+
+func TestShardsWorkerPoolMatchesInline(t *testing.T) {
+	run := func(minParallel int) (Time, int64) {
+		s := NewShards(4, 1e-6)
+		s.SetMinParallel(minParallel)
+		for i := 0; i < 4; i++ {
+			i := i
+			s.Engine(i).Spawn("p", func(p *Proc) {
+				for k := 0; k < 50; k++ {
+					p.Sleep(1e-5 + float64(i)*1e-9)
+				}
+			})
+		}
+		defer s.Close()
+		return s.Run(), s.Events()
+	}
+	// minParallel 1 forces every window through the worker pool; a huge
+	// threshold keeps everything inline on the coordinator.
+	inlineEnd, inlineEv := run(1 << 20)
+	poolEnd, poolEv := run(1)
+	if inlineEnd != poolEnd || inlineEv != poolEv {
+		t.Fatalf("worker pool changed results: (%v, %d) vs (%v, %d)",
+			poolEnd, poolEv, inlineEnd, inlineEv)
+	}
+}
+
+// TestMergeStagedOrder: staged deliveries must inject in (t, src, seq) order
+// regardless of the order shards staged them, fixing the destination heap's
+// tie-break sequence for any shard count.
+func TestMergeStagedOrder(t *testing.T) {
+	s := NewShards(2, 1e-3)
+	sink := &recordingSink{}
+	for _, e := range s.Engines() {
+		e.SetSink(sink)
+	}
+	// Stage out of order: same time from both shards, differing src/seq.
+	s.StageDelivery(1, 0, 5e-3, 7, 0, 3, 10, 1)
+	s.StageDelivery(1, 0, 5e-3, 7, 0, 4, 10, 0)
+	s.StageDelivery(0, 0, 5e-3, 2, 0, 1, 10, 0)
+	s.StageDelivery(0, 0, 2e-3, 9, 0, 2, 10, 0)
+	s.Run()
+	want := [][3]int32{{9, 0, 2}, {2, 0, 1}, {7, 0, 4}, {7, 0, 3}}
+	if len(sink.got) != len(want) {
+		t.Fatalf("delivered %d messages, want %d", len(sink.got), len(want))
+	}
+	for i := range want {
+		if sink.got[i] != want[i] {
+			t.Fatalf("delivery %d = %v, want %v (full order %v)", i, sink.got[i], want[i], sink.got)
+		}
+	}
+}
+
+// TestInjectBeforeHorizonViolation: coordinator work landing before the
+// merged horizon would rewrite executed history; the always-on audit must
+// raise a structured window-safety violation.
+func TestInjectBeforeHorizonViolation(t *testing.T) {
+	s := NewShards(2, 1e-6)
+	s.horizon = 5e-3
+	v, ok := check.Catch(func() { s.InjectAt(0, 1e-3, func() {}) })
+	if !ok {
+		t.Fatal("late injection did not panic with a violation")
+	}
+	if v.Layer != "sim" || v.Invariant != "window-safety" {
+		t.Fatalf("violation = %s/%s, want sim/window-safety", v.Layer, v.Invariant)
+	}
+}
+
+// TestStageWithinLookaheadViolation: a cross-shard delivery closer than the
+// lookahead to its source clock breaks the conservative guarantee; the
+// paranoid stage-time audit must catch the injection at the source.
+func TestStageWithinLookaheadViolation(t *testing.T) {
+	s := NewShards(2, 1e-3)
+	s.SetParanoid(true)
+	v, ok := check.Catch(func() {
+		s.StageDelivery(0, 1, 1e-6, 0, 1, 0, 10, 0) // t << lookahead
+	})
+	if !ok {
+		t.Fatal("within-lookahead staging did not panic with a violation")
+	}
+	if v.Layer != "sim" || v.Invariant != "window-safety" {
+		t.Fatalf("violation = %s/%s, want sim/window-safety", v.Layer, v.Invariant)
+	}
+}
+
+// TestMergedDeliveryBeforeHorizonViolation: the merge-time audit is the
+// always-on backstop for deliveries staged in breach of the lookahead bound
+// outside paranoid mode.
+func TestMergedDeliveryBeforeHorizonViolation(t *testing.T) {
+	s := NewShards(2, 1e-3)
+	sink := &recordingSink{}
+	for _, e := range s.Engines() {
+		e.SetSink(sink)
+	}
+	s.horizon = 5e-3
+	s.StageDelivery(0, 1, 1e-3, 0, 1, 0, 10, 0)
+	v, ok := check.Catch(func() { s.mergeStaged() })
+	if !ok {
+		t.Fatal("pre-horizon merge did not panic with a violation")
+	}
+	if v.Layer != "sim" || v.Invariant != "window-safety" {
+		t.Fatalf("violation = %s/%s, want sim/window-safety", v.Layer, v.Invariant)
+	}
+}
+
+func TestShardsSilentEventAccounting(t *testing.T) {
+	s := NewShards(2, 1e-6)
+	fired := 0
+	s.InjectAt(1, 1e-3, func() { fired++ })
+	s.AddCoordinatorEvents(1)
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("silent injection fired %d times", fired)
+	}
+	// The silent event itself is uncounted; only the coordinator accounting
+	// shows up, so Events is shard-count independent.
+	if ev := s.Events(); ev != 1 {
+		t.Fatalf("events = %d, want 1 (coordinator-accounted only)", ev)
+	}
+}
+
+func TestShardsInterrupt(t *testing.T) {
+	s := NewShards(2, 1e-6)
+	s.Engine(0).Spawn("p", func(p *Proc) {
+		for {
+			p.Sleep(1e-3)
+		}
+	})
+	s.SetInterrupt(func() bool { return true })
+	defer func() {
+		if r := recover(); r != error(ErrInterrupted) {
+			t.Fatalf("recovered %v, want ErrInterrupted", r)
+		}
+		s.Close()
+	}()
+	s.Run()
+	t.Fatal("interrupted Run returned")
+}
+
+// TestShardsBlockedAggregates: a proc stuck on a never-completed future must
+// surface through Blocked after the scheduler drains.
+func TestShardsBlockedAggregates(t *testing.T) {
+	s := NewShards(2, 1e-6)
+	var fut Future
+	s.Engine(1).Spawn("stuck", func(p *Proc) { p.Await(&fut) })
+	s.Run()
+	blocked := s.Blocked()
+	if len(blocked) != 1 || blocked[0].Name() != "stuck" {
+		t.Fatalf("blocked = %v", blocked)
+	}
+	s.Close()
+}
+
+func TestNewShardsRejectsBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewShards(0, 1e-6) },
+		func() { NewShards(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad NewShards args accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -92,6 +92,17 @@ func Tuned(nodes, ranksPerNode int, seed uint64) Config {
 	}
 }
 
+// Lookahead returns the conservative cross-node lookahead bound for the
+// sharded DES scheduler (sim.Shards): the minimum virtual-time distance
+// between a cross-node send and any effect it can have on the receiver.
+// planRemote delays every delivery by at least RemoteMsgOverhead +
+// RemoteLatency (overheads and serialization only add on top, and jitter
+// never applies to deliveries), so RemoteLatency alone is a strict lower
+// bound. Collective releases are bounded too: CollectiveLatency(n) >=
+// RemoteLatency for n >= 2 (single-rank worlds complete collectives
+// locally and never cross shards).
+func (c Config) Lookahead() float64 { return c.RemoteLatency }
+
 // Untuned returns the pre-§IV configuration: a small shm queue, the ACK
 // recovery path exposed (no drain queue), and heavier contention — the
 // environment of the "before" curves in Figs 1 and 3.
@@ -118,15 +129,30 @@ type Census struct {
 	ShmContentions int64 // local deliveries that overflowed the queue
 }
 
-// Network is the simulated fabric. All methods must be called from engine
-// context (events or procs); Network is not safe for other goroutines.
+// Network is the simulated fabric. In single-engine mode (New) all methods
+// must be called from engine context (events or procs); Network is not safe
+// for other goroutines. In sharded mode (NewSharded) the per-message paths
+// (PlanSend, DeliveryDone, RecordIntraRank) may be called concurrently from
+// different shards, because every mutable word they touch — NIC clock, shm
+// queue, RNG stream, census — is indexed by the caller's node and nodes
+// never span shards.
 type Network struct {
 	cfg       Config
 	eng       *sim.Engine
 	rng       *xrand.RNG
 	nicFreeAt []float64 // per-node NIC egress availability
 	shmInUse  []int     // per-node in-flight local messages
-	Census    Census
+	Census    Census    // single-engine mode tallies; use CensusTotal() to read either mode
+
+	// Sharded mode (nil in single-engine mode): the engine, RNG stream and
+	// census shard the same way the event queues do, keeping the NIC-clock
+	// and queue audits shard-local. nodeRngs is split from the seed in node
+	// order, so streams — and therefore all fabric randomness — are
+	// identical for every shard count.
+	engs        []*sim.Engine // per-shard engines
+	shardOfNode []int32       // node -> shard
+	nodeRngs    []*xrand.RNG  // per-node randomness streams
+	shardCensus []Census      // per-shard tallies, summed by CensusTotal
 
 	// tracer, when non-nil, receives a span for every fabric pathology
 	// event (shm queue-full stall, NIC egress serialization, missing-ACK
@@ -152,6 +178,93 @@ func New(eng *sim.Engine, cfg Config) *Network {
 		shmInUse:  make([]int, cfg.Nodes),
 		paranoid:  check.Forced(),
 	}
+}
+
+// NewSharded builds a Network over the sharded scheduler's engines: engs is
+// indexed by shard and shardOfNode maps each node to its shard (nodes never
+// split across shards). Fabric randomness moves from one shared stream to
+// one split stream per node, derived in node order — so results are
+// identical for every shard count N >= 1, though not with single-engine
+// mode's shared stream.
+func NewSharded(engs []*sim.Engine, shardOfNode []int32, cfg Config) *Network {
+	if cfg.Nodes <= 0 || cfg.RanksPerNode <= 0 {
+		panic("simnet: non-positive cluster dimensions")
+	}
+	if len(shardOfNode) != cfg.Nodes {
+		panic("simnet: shardOfNode length does not match Nodes")
+	}
+	for node, sh := range shardOfNode {
+		if int(sh) < 0 || int(sh) >= len(engs) {
+			panic("simnet: node mapped to nonexistent shard")
+		}
+		if node > 0 && sh < shardOfNode[node-1] {
+			panic("simnet: shardOfNode must be nondecreasing (contiguous node groups)")
+		}
+	}
+	root := xrand.New(cfg.Seed)
+	rngs := make([]*xrand.RNG, cfg.Nodes)
+	for node := range rngs {
+		rngs[node] = root.Split()
+	}
+	return &Network{
+		cfg:         cfg,
+		nicFreeAt:   make([]float64, cfg.Nodes),
+		shmInUse:    make([]int, cfg.Nodes),
+		paranoid:    check.Forced(),
+		engs:        engs,
+		shardOfNode: shardOfNode,
+		nodeRngs:    rngs,
+		shardCensus: make([]Census, len(engs)),
+	}
+}
+
+// engFor returns the engine carrying a node's events.
+func (n *Network) engFor(node int) *sim.Engine {
+	if n.engs == nil {
+		return n.eng
+	}
+	return n.engs[n.shardOfNode[node]]
+}
+
+// rngFor returns the randomness stream for a node's fabric events.
+func (n *Network) rngFor(node int) *xrand.RNG {
+	if n.nodeRngs == nil {
+		return n.rng
+	}
+	return n.nodeRngs[node]
+}
+
+// censusFor returns the census a node's messages tally into.
+func (n *Network) censusFor(node int) *Census {
+	if n.shardCensus == nil {
+		return &n.Census
+	}
+	return &n.shardCensus[n.shardOfNode[node]]
+}
+
+// add accumulates o into c.
+func (c *Census) add(o Census) {
+	c.IntraRank += o.IntraRank
+	c.LocalMsgs += o.LocalMsgs
+	c.RemoteMsgs += o.RemoteMsgs
+	c.LocalBytes += o.LocalBytes
+	c.RemoteBytes += o.RemoteBytes
+	c.AckStalls += o.AckStalls
+	c.Drained += o.Drained
+	c.ShmContentions += o.ShmContentions
+}
+
+// CensusTotal returns the message census regardless of mode: the single
+// shared tally, or the per-shard tallies summed in shard order.
+func (n *Network) CensusTotal() Census {
+	if n.shardCensus == nil {
+		return n.Census
+	}
+	var total Census
+	for i := range n.shardCensus {
+		total.add(n.shardCensus[i])
+	}
+	return total
 }
 
 // SetParanoid enables or disables the network's invariant audits. The global
@@ -207,18 +320,19 @@ func (n *Network) PlanSend(src, dst, bytes int) SendPlan {
 
 func (n *Network) planLocal(src, dst, bytes int) SendPlan {
 	node := n.NodeOf(src)
-	n.Census.LocalMsgs++
-	n.Census.LocalBytes += int64(bytes)
+	cs := n.censusFor(node)
+	cs.LocalMsgs++
+	cs.LocalBytes += int64(bytes)
 	delay := n.cfg.LocalLatency + float64(bytes)/n.cfg.LocalBandwidth
 	n.shmInUse[node]++
 	if excess := n.shmInUse[node] - n.cfg.ShmQueueDepth; excess > 0 {
 		// Undersized queue: the shared-memory path degrades into a
 		// contended retry loop with a heavy tail (§IV-B queue size tuning).
-		n.Census.ShmContentions++
-		stall := float64(excess) * n.cfg.ShmContentionPenalty * (1 + n.rng.ExpFloat64())
+		cs.ShmContentions++
+		stall := float64(excess) * n.cfg.ShmContentionPenalty * (1 + n.rngFor(node).ExpFloat64())
 		delay += stall
 		if tr := n.tracer; tr != nil {
-			now := n.eng.Now()
+			now := n.engFor(node).Now()
 			tr.Emit(trace.Span{Rank: int32(src), Kind: trace.ShmStall,
 				T0: now, T1: now + stall,
 				Peer: int32(dst), Bytes: int64(bytes), Tag: -1})
@@ -228,10 +342,11 @@ func (n *Network) planLocal(src, dst, bytes int) SendPlan {
 }
 
 func (n *Network) planRemote(src, dst, bytes int) SendPlan {
-	n.Census.RemoteMsgs++
-	n.Census.RemoteBytes += int64(bytes)
 	node := n.NodeOf(src)
-	now := n.eng.Now()
+	cs := n.censusFor(node)
+	cs.RemoteMsgs++
+	cs.RemoteBytes += int64(bytes)
+	now := n.engFor(node).Now()
 	// NIC egress serialization: messages from all 16 ranks of a node share
 	// one NIC.
 	start := now
@@ -257,16 +372,16 @@ func (n *Network) planRemote(src, dst, bytes int) SendPlan {
 	deliver := depart + n.cfg.RemoteLatency - now
 
 	senderDone := n.cfg.SendOverhead
-	if n.cfg.AckLossProb > 0 && n.rng.Float64() < n.cfg.AckLossProb {
+	if n.cfg.AckLossProb > 0 && n.rngFor(node).Float64() < n.cfg.AckLossProb {
 		if n.cfg.DrainQueue {
 			// Mitigation: allocate a fresh request, drain the blocked one
 			// in the background; the sender proceeds immediately.
-			n.Census.Drained++
+			cs.Drained++
 		} else {
 			// Missing ACK: the fabric recovery path blocks the sender even
 			// though the receiver already has the data.
-			n.Census.AckStalls++
-			senderDone = n.cfg.AckRecoveryDelay * (0.5 + n.rng.Float64())
+			cs.AckStalls++
+			senderDone = n.cfg.AckRecoveryDelay * (0.5 + n.rngFor(node).Float64())
 			if tr := n.tracer; tr != nil {
 				tr.Emit(trace.Span{Rank: int32(src), Kind: trace.AckStall,
 					T0: now, T1: now + senderDone,
@@ -303,12 +418,17 @@ func (n *Network) AuditDrained() {
 	}
 }
 
-// RecordIntraRank counts a block-pair exchange that stayed on one rank
-// (handled by memcpy, no MPI message).
-func (n *Network) RecordIntraRank() { n.Census.IntraRank++ }
+// RecordIntraRank counts a block-pair exchange by rank that stayed on one
+// rank (handled by memcpy, no MPI message).
+func (n *Network) RecordIntraRank(rank int) { n.censusFor(n.NodeOf(rank)).IntraRank++ }
 
 // ResetCensus zeroes the message census (e.g. per measurement window).
-func (n *Network) ResetCensus() { n.Census = Census{} }
+func (n *Network) ResetCensus() {
+	n.Census = Census{}
+	for i := range n.shardCensus {
+		n.shardCensus[i] = Census{}
+	}
+}
 
 // CollectiveLatency returns the software latency of a barrier/allreduce
 // release over nranks ranks: a tree of depth log2(n) of fabric hops.
@@ -321,7 +441,9 @@ func (n *Network) CollectiveLatency(nranks int) float64 {
 }
 
 // JitterFactor returns a multiplicative compute-noise factor
-// ~ (1 + Jitter·|N(0,1)|).
+// ~ (1 + Jitter·|N(0,1)|). It draws from the shared single-engine stream,
+// so it must not be called in sharded mode (rank compute noise there comes
+// from the MPI world's per-rank streams, as everywhere in the driver).
 func (n *Network) JitterFactor() float64 {
 	if n.cfg.Jitter == 0 {
 		return 1

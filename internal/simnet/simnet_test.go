@@ -146,7 +146,7 @@ func TestResetCensus(t *testing.T) {
 	cfg.AckLossProb = 0
 	n := New(sim.NewEngine(), cfg)
 	n.PlanSend(0, 1, 10)
-	n.RecordIntraRank()
+	n.RecordIntraRank(0)
 	n.ResetCensus()
 	if n.Census != (Census{}) {
 		t.Fatalf("census not reset: %+v", n.Census)

@@ -143,14 +143,17 @@ type Config struct {
 // 4096 spans x ~48 bytes ~= 200 KiB/rank.
 const DefaultPerRankCap = 4096
 
-// ring is a fixed-capacity circular span buffer.
+// ring is a fixed-capacity circular span buffer. Its eviction counter is
+// per-ring (not recorder-global) so that ranks emitting concurrently from
+// different shards of the parallel scheduler never share a counter word.
 type ring struct {
-	spans []Span
-	head  int // index of the oldest retained span
-	n     int // retained count
+	spans   []Span
+	head    int // index of the oldest retained span
+	n       int // retained count
+	dropped int64
 }
 
-func (rg *ring) push(s Span, dropped *int64) {
+func (rg *ring) push(s Span) {
 	if rg.n < len(rg.spans) {
 		rg.spans[(rg.head+rg.n)%len(rg.spans)] = s
 		rg.n++
@@ -158,12 +161,18 @@ func (rg *ring) push(s Span, dropped *int64) {
 	}
 	rg.spans[rg.head] = s
 	rg.head = (rg.head + 1) % len(rg.spans)
-	*dropped++
+	rg.dropped++
 }
 
-// Recorder is the per-run flight recorder. It is bound to one simulation
-// (engine serialization makes unsynchronized emission safe) and is not safe
-// for concurrent use across simulations.
+// Recorder is the per-run flight recorder. It is bound to one simulation and
+// is not safe for concurrent use across simulations. Within one simulation
+// all mutable per-span state — rings, step/epoch stamps, drop and suppress
+// counters — is indexed by rank, so emission is safe both under the
+// sequential engine (one goroutine) and under the sharded scheduler, where
+// ranks on different shards emit concurrently but each rank's state is only
+// ever touched by the shard that owns it. The armed flag is written only by
+// the coordinator between windows (Arm via the step-telemetry trigger), which
+// the scheduler's fork-join channels order against every worker read.
 type Recorder struct {
 	rpn        int // ranks per node, for the table's node column
 	armed      bool
@@ -171,8 +180,7 @@ type Recorder struct {
 	raw        []Span  // out-of-loop spans (EmitRaw); never evicted
 	step       []int32 // current timestep per rank (set by the driver)
 	epoch      []int32 // current epoch per rank
-	dropped    int64
-	suppressed int64
+	suppressed []int64 // spans offered while disarmed, per rank
 }
 
 // NewRecorder creates a recorder for nranks ranks on nodes of ranksPerNode.
@@ -185,11 +193,12 @@ func NewRecorder(nranks, ranksPerNode int, cfg Config) *Recorder {
 		cap = DefaultPerRankCap
 	}
 	r := &Recorder{
-		rpn:   ranksPerNode,
-		armed: !cfg.Disarmed,
-		rings: make([]ring, nranks),
-		step:  make([]int32, nranks),
-		epoch: make([]int32, nranks),
+		rpn:        ranksPerNode,
+		armed:      !cfg.Disarmed,
+		rings:      make([]ring, nranks),
+		step:       make([]int32, nranks),
+		epoch:      make([]int32, nranks),
+		suppressed: make([]int64, nranks),
 	}
 	for i := range r.rings {
 		r.rings[i].spans = make([]Span, cap)
@@ -220,12 +229,12 @@ func (r *Recorder) SetPhase(rank int, step, epoch int32) {
 // that single branch is the entire disabled-path cost.
 func (r *Recorder) Emit(s Span) {
 	if !r.armed {
-		r.suppressed++
+		r.suppressed[s.Rank]++
 		return
 	}
 	s.Step = r.step[s.Rank]
 	s.Epoch = r.epoch[s.Rank]
-	r.rings[s.Rank].push(s, &r.dropped)
+	r.rings[s.Rank].push(s)
 }
 
 // EmitRaw records a span without phase stamping, without the arming gate,
@@ -300,10 +309,22 @@ func (r *Recorder) Len() int {
 }
 
 // Dropped returns the number of spans evicted by full rings.
-func (r *Recorder) Dropped() int64 { return r.dropped }
+func (r *Recorder) Dropped() int64 {
+	var n int64
+	for i := range r.rings {
+		n += r.rings[i].dropped
+	}
+	return n
+}
 
 // Suppressed returns the number of spans offered while disarmed.
-func (r *Recorder) Suppressed() int64 { return r.suppressed }
+func (r *Recorder) Suppressed() int64 {
+	var n int64
+	for _, v := range r.suppressed {
+		n += v
+	}
+	return n
+}
 
 // Schema is the span table schema (see Table).
 func Schema() []telemetry.ColSpec {
