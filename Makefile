@@ -7,7 +7,7 @@ RACE_PKGS = ./internal/harness/... ./internal/experiments/... \
             ./internal/sim/... ./internal/simnet/... ./internal/mpi/... \
             ./internal/driver/... ./internal/placement/...
 
-.PHONY: all build vet lint test race bench benchcmp check fmt
+.PHONY: all build vet lint test race bench benchcmp serve-smoke check fmt
 
 all: check
 
@@ -31,15 +31,21 @@ race:
 
 # One iteration of every root benchmark (each regenerates a paper table or
 # figure); benchjson tees the text output through and archives the parsed
-# results as BENCH_PR7.json for the CI artifact.
+# results as BENCH_PR8.json for the CI artifact.
 bench:
-	$(GO) test -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out BENCH_PR7.json
+	$(GO) test -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out BENCH_PR8.json
 
 # Delta table between the previous PR's archived benchmark run and the
 # current one: ns/op and allocs/op per benchmark, regressions beyond 10%
 # marked. Advisory — the target never fails the build.
 benchcmp:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR7.json -threshold 10
+	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR8.json -threshold 10
+
+# Live-endpoint smoke: run a short campaign with -serve and scrape
+# /metrics + /statusz while it executes; any non-200 response or an empty
+# exposition fails the target.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Distributed-forest smoke at the paper-breaking scale: one 64k-rank driver
 # run (plus the 4k/16k lead-ins) with every invariant audit on and a hard

@@ -181,8 +181,12 @@ var compareUnits = []string{"ns/op", "allocs/op"}
 
 // writeCompareTable prints a per-benchmark delta table between two archived
 // runs and returns the number of REGRESSION rows (delta worse than
-// threshold percent on either compared unit). Benchmarks present in only
-// one file are listed as added/removed without deltas.
+// threshold percent on either compared unit). Benchmarks present only in
+// NEW get full rows — their measured values with "-" baseline cells, "n/a"
+// deltas, and a trailing `new` marker — so a PR's added benchmarks show
+// their numbers instead of being reduced to a placeholder; benchmarks
+// present only in OLD are listed as removed. Neither counts as a
+// regression.
 func writeCompareTable(w io.Writer, old, cur []result, threshold float64) int {
 	byName := func(rs []result) map[string]result {
 		m := make(map[string]result, len(rs))
@@ -203,11 +207,10 @@ func writeCompareTable(w io.Writer, old, cur []result, threshold float64) int {
 		"benchmark", "old ns/op", "new ns/op", "Δ%", "old allocs", "new allocs", "Δ%")
 	for _, name := range names {
 		c := cm[name]
-		o, ok := om[name]
-		if !ok {
-			fmt.Fprintf(w, "%-42s %s\n", name, "(new benchmark — no baseline)")
-			continue
-		}
+		// A benchmark absent from the baseline flows through the same row
+		// logic with an empty old side: every lookup misses, so old cells
+		// render "-" and deltas "n/a".
+		o, hasOld := om[name]
 		cells := make([]string, 0, 6)
 		worst := 0.0
 		for _, unit := range compareUnits {
@@ -229,7 +232,9 @@ func writeCompareTable(w io.Writer, old, cur []result, threshold float64) int {
 			}
 		}
 		mark := ""
-		if worst > threshold {
+		if !hasOld {
+			mark = "  new"
+		} else if worst > threshold {
 			mark = "  REGRESSION"
 			regressions++
 		}

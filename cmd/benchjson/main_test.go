@@ -57,11 +57,21 @@ func TestCompareTableDeltasAndRegressions(t *testing.T) {
 		"-50.0",                                // A's ns/op improvement
 		"+25.0",                                // B's ns/op regression
 		"REGRESSION",                           // the marker on B's row
-		"(new benchmark — no baseline)",        // BenchmarkNew
 		"(removed — present only in baseline)", // BenchmarkGone
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "BenchmarkNew") {
+			// Baseline-less benchmarks keep their measured values and get a
+			// `new` marker instead of collapsing to a placeholder.
+			for _, want := range []string{"1", "-", "n/a", "new"} {
+				if !strings.Contains(line, want) {
+					t.Errorf("new-benchmark row missing %q:\n%s", want, line)
+				}
+			}
 		}
 	}
 	for _, line := range strings.Split(out, "\n") {
@@ -160,8 +170,44 @@ func TestCompareTableDisjointFiles(t *testing.T) {
 		t.Fatal("disjoint benchmark sets produced regressions")
 	}
 	out := sb.String()
-	if !strings.Contains(out, "new benchmark") || !strings.Contains(out, "removed") {
+	if !strings.Contains(out, "new") || !strings.Contains(out, "removed") {
 		t.Fatalf("missing new/removed markers:\n%s", out)
+	}
+}
+
+// TestCompareTableNewBenchmarkRow: a benchmark present only in NEW must be a
+// full row — its own measured values, "-" for the absent baseline cells,
+// "n/a" deltas, a `new` marker — and must never count as a regression, even
+// at threshold 0.
+func TestCompareTableNewBenchmarkRow(t *testing.T) {
+	old := []result{{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 5}}}
+	cur := []result{
+		{Name: "BenchmarkA", Metrics: map[string]float64{"ns/op": 100, "allocs/op": 5}},
+		{Name: "BenchmarkAdded", Metrics: map[string]float64{"ns/op": 1234, "allocs/op": 7}},
+	}
+	var sb strings.Builder
+	if n := writeCompareTable(&sb, old, cur, 0); n != 0 {
+		t.Fatalf("new benchmark counted as regression:\n%s", sb.String())
+	}
+	var row string
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.Contains(line, "BenchmarkAdded") {
+			row = line
+		}
+	}
+	if row == "" {
+		t.Fatalf("new benchmark dropped from the table:\n%s", sb.String())
+	}
+	for _, want := range []string{"1234", "7", "n/a", "new"} {
+		if !strings.Contains(row, want) {
+			t.Errorf("new-benchmark row missing %q:\n%s", want, row)
+		}
+	}
+	if fields := strings.Fields(row); len(fields) < 8 {
+		t.Errorf("new-benchmark row is not a full table row (%d fields):\n%s", len(fields), row)
+	}
+	if strings.Contains(row, "REGRESSION") {
+		t.Errorf("new-benchmark row marked REGRESSION:\n%s", row)
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only fig6,table1,...] [-j N] [-out f.col] [-trace dir] [-timeout d] [-paranoid] [-cpuprofile f] [-memprofile f]
+//	experiments [-quick] [-seed N] [-only fig6,table1,...] [-j N] [-out f.col] [-trace dir] [-serve :8080] [-metricsdir dir] [-timeout d] [-paranoid] [-cpuprofile f] [-memprofile f]
 //
 // Full mode reproduces the paper's scales (512–4096 simulated ranks for the
 // Sedov runs, up to 131072 ranks for scalebench) and takes several minutes;
@@ -20,6 +20,14 @@
 // collective membership, simnet queue accounting, per-epoch mesh/plan
 // consistency, teardown hygiene); a breached invariant aborts the run with
 // a structured violation instead of producing a silently wrong table.
+//
+// -serve starts the live observability endpoint for the duration of the
+// run: Prometheus text on /metrics, a self-refreshing campaign progress
+// page on /statusz (runs done/total, current campaign, ETA), and the
+// standard Go profiles under /debug/pprof. -metricsdir additionally dumps
+// each run's full metric snapshot (internal/metrics, both planes) as one
+// colfile per run, named like the -trace span dumps. See EXPERIMENTS.md
+// for a worked example of watching a scale run live.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiments (combine with -only to isolate one figure; see EXPERIMENTS.md
@@ -40,6 +48,7 @@ import (
 	"amrtools/internal/colfile"
 	"amrtools/internal/experiments"
 	"amrtools/internal/harness"
+	"amrtools/internal/metrics"
 )
 
 func main() {
@@ -52,6 +61,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none); a safety net against simulated deadlocks")
 	paranoid := flag.Bool("paranoid", false, "run every simulation with the internal/check invariant audits on")
 	shards := flag.Int("shards", 0, "node-sharded event queues per simulation (0 = single-engine scheduler; results identical for any value)")
+	serve := flag.String("serve", "", "serve live /metrics, /statusz, and /debug/pprof on this address (e.g. :8080) for the duration of the run")
+	metricsDir := flag.String("metricsdir", "", "write each run's metric snapshot into this directory (one colfile per run)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the selected experiments to this file")
 	memprofile := flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	flag.Parse()
@@ -104,13 +115,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var camp *metrics.Campaign
+	if *serve != "" || *metricsDir != "" {
+		camp = metrics.NewCampaign()
+	}
+	if *serve != "" {
+		srv, err := metrics.Serve(*serve, camp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving /metrics /statusz /debug/pprof on http://%s\n", srv.Addr())
+	}
 	rec := harness.NewRecorder()
 	opts := experiments.Options{
-		Quick:    *quick,
-		Seed:     *seed,
-		Paranoid: *paranoid,
-		Shards:   *shards,
-		TraceDir: *traceDir,
+		Quick:      *quick,
+		Seed:       *seed,
+		Paranoid:   *paranoid,
+		Shards:     *shards,
+		TraceDir:   *traceDir,
+		Metrics:    camp,
+		MetricsDir: *metricsDir,
 		Exec: harness.Exec{
 			Workers:  *workers,
 			Timeout:  *timeout,

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	scalebench [-full] [-seed 42] [-scale] [-paranoid] [-metrics f.col]
+//	scalebench [-full] [-seed 42] [-scale] [-paranoid] [-metrics f.col] [-serve :8080]
 //
 // Default mode sweeps up to 8K ranks; -full goes to 131072 (the paper's
 // 128K point, where unzoned placement crosses the 50 ms budget and the
@@ -18,7 +18,9 @@
 // replicated partition size, and ownership-delta record counts. -paranoid
 // runs those simulations with every invariant audit on. -metrics dumps the
 // harness recorder (wall_ms, events, rank_bytes, heap_mb per run) as an
-// amrquery-readable colfile in either mode.
+// amrquery-readable colfile in either mode. -serve starts the live
+// observability endpoint (Prometheus /metrics, /statusz progress page,
+// /debug/pprof) for the duration of the sweep — see EXPERIMENTS.md.
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"amrtools/internal/colfile"
 	"amrtools/internal/experiments"
 	"amrtools/internal/harness"
+	"amrtools/internal/metrics"
 )
 
 func main() {
@@ -40,12 +43,24 @@ func main() {
 	scale := flag.Bool("scale", false, "run the distributed-forest rank-scaling sweep (full driver runs)")
 	paranoid := flag.Bool("paranoid", false, "run -scale simulations with the internal/check invariant audits on")
 	shards := flag.Int("shards", 0, "node-sharded event queues per simulation (0 = single-engine scheduler; results identical for any value)")
-	metrics := flag.String("metrics", "", "write per-run campaign telemetry to this colfile")
+	metricsOut := flag.String("metrics", "", "write per-run campaign telemetry to this colfile")
+	serve := flag.String("serve", "", "serve live /metrics, /statusz, and /debug/pprof on this address (e.g. :8080) for the duration of the run")
 	timeout := flag.Duration("timeout", 0, "per-run timeout (0 = none); a safety net against simulated deadlocks")
 	flag.Parse()
 
 	if *paranoid {
 		check.Force(true)
+	}
+	var camp *metrics.Campaign
+	if *serve != "" {
+		camp = metrics.NewCampaign()
+		srv, err := metrics.Serve(*serve, camp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving /metrics /statusz /debug/pprof on http://%s\n", srv.Addr())
 	}
 	rec := harness.NewRecorder()
 	opts := experiments.Options{
@@ -53,6 +68,7 @@ func main() {
 		Seed:     *seed,
 		Paranoid: *paranoid,
 		Shards:   *shards,
+		Metrics:  camp,
 		Exec: harness.Exec{
 			Workers:  *workers,
 			Timeout:  *timeout,
@@ -75,8 +91,8 @@ func main() {
 		fmt.Print(experiments.Fig7c(opts).Render(0))
 	}
 
-	if *metrics != "" {
-		f, err := os.Create(*metrics)
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -89,6 +105,6 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "campaign telemetry: %d rows -> %s\n", rec.Table().NumRows(), *metrics)
+		fmt.Fprintf(os.Stderr, "campaign telemetry: %d rows -> %s\n", rec.Table().NumRows(), *metricsOut)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"amrtools/internal/critpath"
 	"amrtools/internal/health"
 	"amrtools/internal/mesh"
+	"amrtools/internal/metrics"
 	"amrtools/internal/mpi"
 	"amrtools/internal/physics"
 	"amrtools/internal/placement"
@@ -115,6 +116,15 @@ type Config struct {
 	// probe_pre/probe_post spans. Result.Spans holds the recorder. Nil means
 	// tracing off — the disabled path is one nil check per emission site.
 	Trace *trace.Config
+
+	// Metrics, when non-nil, enables the run's aggregate instrument
+	// registry (internal/metrics): sim-plane counters/sums/histograms for
+	// MPI traffic, fabric stalls, and migration volume (bit-identical
+	// across Shards and harness workers) plus host-plane scheduler
+	// instruments. Result.Metrics holds the populated set; a Campaign in
+	// the config receives live host-plane updates for the HTTP endpoints.
+	// Nil means metrics off — one nil check per emission site, like Trace.
+	Metrics *metrics.Config
 
 	// OnStepRecord, when set (requires CollectSteps), observes every
 	// per-step per-rank telemetry row as it is appended — the hook for
@@ -240,6 +250,10 @@ type Result struct {
 	// PartitionBytes is the replicated SFC-partition splitter footprint,
 	// O(nranks) and independent of global block count.
 	PartitionBytes int
+	// Metrics is the run's instrument set (nil unless Config.Metrics was
+	// set). Snapshot it only after Run returns: sim-plane lanes are owned
+	// by the engines while the simulation executes.
+	Metrics *metrics.RunSet
 }
 
 // exchange is one directed boundary message between two blocks. Both
@@ -283,8 +297,9 @@ type runState struct {
 	// conditional rebalance barrier below stays collective).
 	chargePending bool
 	res           *Result
-	tracer        *trace.Recorder // nil unless Config.Trace
-	sizes         [3]int          // face/edge/vertex message bytes
+	tracer        *trace.Recorder        // nil unless Config.Trace
+	mx            *metrics.DriverMetrics // nil unless Config.Metrics
+	sizes         [3]int                 // face/edge/vertex message bytes
 	// stage holds the per-rank telemetry staging buffers of a sharded run
 	// (nil in sequential mode); see shardstage.go.
 	stage *shardStage
@@ -355,6 +370,16 @@ func Run(cfg Config) (*Result, error) {
 		rebCharge: make([]float64, nranks),
 		res:       &Result{},
 		sizes:     messageSizes(cfg),
+	}
+	if cfg.Metrics != nil {
+		ms := metrics.NewRunSet(nranks, cfg.Net.Nodes, cfg.Metrics.Campaign)
+		st.res.Metrics = ms
+		st.mx = ms.Drv
+		world.SetMetrics(ms.MPI)
+		net.SetMetrics(ms.Net)
+		if shs != nil {
+			shs.SetMetrics(ms.Sched)
+		}
 	}
 	st.res.InitialBlocks = st.m.NumLeaves()
 	if shs != nil {
@@ -646,6 +671,7 @@ func (st *runState) buildEpochWith(assign placement.Assignment, costs []float64,
 	// PlacementEvery/Fig 6 comparisons are about.
 	blockBytes := st.cfg.BlockCells * st.cfg.BlockCells * st.cfg.BlockCells * st.cfg.NVars * 8
 	migTime := make([]float64, nranks)
+	migBefore := st.res.Migrations
 	oldDir := st.dir
 	if oldDir != nil {
 		rpn := st.cfg.Net.RanksPerNode
@@ -682,8 +708,20 @@ func (st *runState) buildEpochWith(assign placement.Assignment, costs []float64,
 	// New ownership directory, and the install records pushing each block's
 	// (key, level, owner) entry to its home rank under the new partition.
 	st.dir = buildDirectory(st.m.Geometry(), ep.leafIDs, assign, nranks)
+	installs := 0
 	if oldDir != nil {
-		st.res.Deltas.Installs += countInstalls(st.dir)
+		installs = countInstalls(st.dir)
+		st.res.Deltas.Installs += installs
+	}
+	if mx := st.mx; mx != nil {
+		// Epoch-scoped sim-plane counters, lane 0: buildEpochWith always runs
+		// in rank 0's deterministic redistribution context.
+		moved := int64(st.res.Migrations - migBefore)
+		mx.Epochs.Inc(0)
+		mx.MigratedBlocks.Add(0, moved)
+		mx.MigratedBytes.Add(0, moved*int64(blockBytes))
+		mx.DirHandoffs.Add(0, moved)
+		mx.DirInstalls.Add(0, int64(installs))
 	}
 
 	// Metadata telemetry: the largest per-rank footprint this epoch, and
@@ -873,6 +911,9 @@ func (st *runState) rankProgram(c *mpi.Comm, world *mpi.World, prev *mpi.Meter) 
 			}
 		}
 		*prev = *m
+		if mx := st.mx; mx != nil {
+			mx.Steps.Inc(rank)
+		}
 
 		// Redistribution window.
 		if (step+1)%st.cfg.LBInterval == 0 && step+1 < st.cfg.Steps {

@@ -1,0 +1,87 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"amrtools/internal/metrics"
+	"amrtools/internal/placement"
+)
+
+// metricsConfig is shardConfig with the two-plane metrics registry on.
+func metricsConfig(pol placement.Policy, steps int, seed uint64, shards int) Config {
+	cfg := shardConfig(pol, steps, seed, shards)
+	cfg.Metrics = &metrics.Config{}
+	return cfg
+}
+
+// TestMetricsShardIdentity: the simulated-plane snapshot is part of the
+// reproduction surface — it must be byte-identical for shard counts 1, 2,
+// and 4, exactly like the result tables. (Host-plane metrics legitimately
+// differ across shard counts; SimSnapshot excludes them by construction.)
+func TestMetricsShardIdentity(t *testing.T) {
+	run := func(shards int) string {
+		res, err := Run(metricsConfig(placement.LPT{}, 12, 7, shards))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if res.Metrics == nil {
+			t.Fatalf("shards=%d: Config.Metrics set but Result.Metrics nil", shards)
+		}
+		return res.Metrics.Reg.SimSnapshot().Render(0)
+	}
+	base := run(1)
+	if !strings.Contains(base, "sim_mpi_p2p_msgs_total") {
+		t.Fatalf("sim snapshot missing MPI series:\n%s", base)
+	}
+	for _, shards := range []int{2, 4} {
+		if got := run(shards); got != base {
+			t.Errorf("shards=%d: sim-plane snapshot diverged from shards=1\n--- base ---\n%s\n--- got ---\n%s",
+				shards, base, got)
+		}
+	}
+}
+
+// TestMetricsPopulated: a metered run must actually move the core series —
+// the instrumentation sites fire, the phase attribution accumulates, and
+// the sharded scheduler reports host-plane window structure.
+func TestMetricsPopulated(t *testing.T) {
+	res, err := Run(metricsConfig(placement.LPT{}, 12, 7, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := res.Metrics
+	if ms.MPI.P2PMsgs.Total() == 0 {
+		t.Error("no point-to-point messages counted")
+	}
+	if ms.MPI.P2PBytes.Total() == 0 {
+		t.Error("no point-to-point bytes counted")
+	}
+	if ms.MPI.Compute.Total() <= 0 {
+		t.Error("no compute phase time attributed")
+	}
+	if ms.Drv.Epochs.Total() == 0 {
+		t.Error("no plan epochs counted")
+	}
+	if ms.Drv.Steps.Total() == 0 {
+		t.Error("no timesteps counted")
+	}
+	if ms.Sched.Windows.Value() == 0 {
+		t.Error("sharded run executed no windows")
+	}
+	if ms.Sched.WindowEvents.Count() == 0 {
+		t.Error("no per-window event observations")
+	}
+}
+
+// TestMetricsDisabledPath: the default config must not build a registry —
+// the disabled path is a nil pointer, nothing else.
+func TestMetricsDisabledPath(t *testing.T) {
+	res, err := Run(shardConfig(placement.LPT{}, 8, 7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics != nil {
+		t.Fatal("metrics collected without Config.Metrics")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"amrtools/internal/colfile"
 	"amrtools/internal/driver"
 	"amrtools/internal/harness"
+	"amrtools/internal/metrics"
 	"amrtools/internal/physics"
 	"amrtools/internal/placement"
 	"amrtools/internal/simnet"
@@ -60,6 +61,22 @@ type Options struct {
 	// deterministic simulation only, so they are bit-identical across
 	// Exec.Workers settings.
 	TraceDir string
+	// Metrics, when non-nil, turns on the two-plane metrics registry
+	// (internal/metrics) in every driver run and merges each completed run's
+	// snapshot into this campaign aggregate — the object behind the live
+	// /metrics and /statusz endpoints. Merging happens in run-completion
+	// order, so the aggregate is exposition-only; per-run sim-plane
+	// snapshots remain bit-identical across -j and -shards.
+	Metrics *metrics.Campaign
+	// MetricsDir, when non-empty, also writes each run's full metric
+	// snapshot as `<MetricsDir>/<campaign>--<id>.col` (amrquery-compatible).
+	// Setting MetricsDir alone enables collection without a live aggregate.
+	MetricsDir string
+}
+
+// metricsOn reports whether driver runs should build a metrics registry.
+func (o Options) metricsOn() bool {
+	return o.Metrics != nil || o.MetricsDir != ""
 }
 
 // NondetCols names the wall-clock-derived columns that byte-identity checks
@@ -123,6 +140,9 @@ func (o Options) sedovSpec(id string, cfg driver.Config) harness.Spec[*driver.Re
 	if o.TraceDir != "" && cfg.Trace == nil {
 		cfg.Trace = &trace.Config{}
 	}
+	if o.metricsOn() && cfg.Metrics == nil {
+		cfg.Metrics = &metrics.Config{Campaign: o.Metrics}
+	}
 	return harness.Spec[*driver.Result]{
 		ID: id,
 		Run: func(m *harness.Meter) (*driver.Result, error) {
@@ -137,6 +157,9 @@ func (o Options) sedovSpec(id string, cfg driver.Config) harness.Spec[*driver.Re
 			}
 			m.AddEvents(res.Events)
 			m.SetRankBytes(int64(res.MaxRankMetaBytes))
+			if o.Metrics != nil && res.Metrics != nil {
+				o.Metrics.AddRun(res.Metrics.Reg)
+			}
 			return res, nil
 		},
 	}
@@ -148,13 +171,48 @@ func (o Options) sedovSpec(id string, cfg driver.Config) harness.Spec[*driver.Re
 // With Options.TraceDir set, every traced run's span table is written as
 // `<TraceDir>/<campaign>--<id>.col`.
 func runCampaign(opts Options, campaign string, specs []harness.Spec[*driver.Result]) []*driver.Result {
-	results := harness.MustValues(harness.Run(opts.Exec, campaign, specs))
+	e := opts.Exec
+	if e.Metrics == nil {
+		e.Metrics = opts.Metrics
+	}
+	results := harness.MustValues(harness.Run(e, campaign, specs))
 	if opts.TraceDir != "" {
 		if err := dumpSpans(opts.TraceDir, campaign, specs, results); err != nil {
 			panic(fmt.Sprintf("experiments: span dump failed: %v", err))
 		}
 	}
+	if opts.MetricsDir != "" {
+		if err := dumpMetrics(opts.MetricsDir, campaign, specs, results); err != nil {
+			panic(fmt.Sprintf("experiments: metrics dump failed: %v", err))
+		}
+	}
 	return results
+}
+
+// dumpMetrics writes each metered result's full snapshot (both planes) as a
+// colfile named `<campaign>--<id>.col` ("/" in spec ids becomes "_").
+func dumpMetrics(dir, campaign string, specs []harness.Spec[*driver.Result], results []*driver.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, res := range results {
+		if res == nil || res.Metrics == nil {
+			continue
+		}
+		name := campaign + "--" + strings.ReplaceAll(specs[i].ID, "/", "_") + ".col"
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := colfile.WriteTable(f, res.Metrics.Reg.Snapshot(), 8192); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // dumpSpans writes each traced result's span table as a colfile named

@@ -5,6 +5,7 @@ import (
 
 	"amrtools/internal/driver"
 	"amrtools/internal/harness"
+	"amrtools/internal/metrics"
 	"amrtools/internal/placement"
 	"amrtools/internal/telemetry"
 )
@@ -48,7 +49,11 @@ func Differential(opts Options) *telemetry.Table {
 }
 
 // differentialTable runs the pair campaign once under the given options and
-// tabulates the per-pair equality verdicts.
+// tabulates the per-pair equality verdicts. Runs always collect metrics: a
+// pair only counts as equal if the two sides' sim-plane metric snapshots are
+// byte-identical too. Host-plane metrics are excluded by construction —
+// SimSnapshot never contains them — so wall-clock-dependent series can never
+// fail (or mask a failure of) the differential audit.
 func differentialTable(opts Options) *telemetry.Table {
 	sc := opts.scales()[0]
 	steps := opts.steps()
@@ -57,6 +62,7 @@ func differentialTable(opts Options) *telemetry.Table {
 		for side, pol := range []placement.Policy{p.A, p.B} {
 			cfg := opts.sedovConfig(sc, pol, steps, opts.Seed)
 			cfg.Paranoid = true // the audit campaign always runs paranoid
+			cfg.Metrics = &metrics.Config{Campaign: opts.Metrics}
 			specs = append(specs, opts.sedovSpec(fmt.Sprintf("%s/%d", p.ID, side), cfg))
 		}
 	}
@@ -70,7 +76,8 @@ func differentialTable(opts Options) *telemetry.Table {
 	for i, p := range differentialPairs {
 		a, b := results[2*i], results[2*i+1]
 		equal := 0
-		if a.Makespan == b.Makespan && a.Census == b.Census && a.FinalBlocks == b.FinalBlocks {
+		if a.Makespan == b.Makespan && a.Census == b.Census && a.FinalBlocks == b.FinalBlocks &&
+			telemetry.Equal(a.Metrics.Reg.SimSnapshot(), b.Metrics.Reg.SimSnapshot()) {
 			equal = 1
 		}
 		t.Append(p.ID, sc.MeshDesc, sc.Ranks, a.Makespan, b.Makespan, equal)

@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"amrtools/internal/metrics"
 )
 
 // Status classifies how a run ended.
@@ -176,6 +178,10 @@ type Exec struct {
 	Progress ProgressFunc
 	// Recorder, when set, accumulates per-run metrics across campaigns.
 	Recorder *Recorder
+	// Metrics, when set, receives live host-plane campaign telemetry: run
+	// completions, process allocation deltas, and the progress state behind
+	// /statusz. Purely observational — it never influences execution.
+	Metrics *metrics.Campaign
 }
 
 // Serial returns a copy of e pinned to one worker. Campaigns that measure
@@ -213,8 +219,11 @@ func Run[T any](e Exec, campaign string, specs []Spec[T]) []Result[T] {
 		return results
 	}
 	var rec recording
-	if e.Recorder != nil {
+	if e.Recorder != nil || e.Metrics != nil {
 		rec.begin()
+	}
+	if e.Metrics != nil {
+		e.Metrics.BeginCampaign(campaign, n)
 	}
 	start := time.Now()
 
@@ -230,6 +239,9 @@ func Run[T any](e Exec, campaign string, specs []Spec[T]) []Result[T] {
 				results[i] = runOne(e.Timeout, specs[i])
 				mu.Lock()
 				done++
+				if e.Metrics != nil {
+					e.Metrics.ObserveRun(results[i].ID, results[i].Status.String(), results[i].Wall)
+				}
 				if e.Progress != nil {
 					e.Progress(Progress{
 						Campaign: campaign, Done: done, Total: n,
@@ -247,8 +259,14 @@ func Run[T any](e Exec, campaign string, specs []Spec[T]) []Result[T] {
 	close(idx)
 	wg.Wait()
 
-	if e.Recorder != nil {
-		recordCampaign(e.Recorder, campaign, time.Since(start), rec.end(), results)
+	if e.Recorder != nil || e.Metrics != nil {
+		alloc := rec.end()
+		if e.Recorder != nil {
+			recordCampaign(e.Recorder, campaign, time.Since(start), alloc, results)
+		}
+		if e.Metrics != nil {
+			e.Metrics.AddAlloc(alloc.bytes, alloc.mallocs)
+		}
 	}
 	return results
 }

@@ -25,6 +25,13 @@ var DefaultCorePackages = []string{
 	"amrtools/internal/critpath",
 	"amrtools/internal/health",
 	"amrtools/internal/check",
+	// internal/metrics is core for its simulated plane (laned instruments,
+	// registry, snapshots, exposition). Its host-plane files (campaign.go,
+	// serve.go) are wall-clock machinery by design and carry per-line
+	// `//lint:ignore determinism host-plane: <reason>` waivers — the
+	// documented pattern for non-deterministic code inside a core package
+	// (DESIGN.md §11).
+	"amrtools/internal/metrics",
 }
 
 // wallClockFuncs are the time-package functions that read or depend on the

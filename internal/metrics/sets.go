@@ -1,0 +1,160 @@
+package metrics
+
+import "sync/atomic"
+
+// Config gates per-run metrics collection (driver.Config.Metrics). A nil
+// Config means metrics off — the disabled path is one nil check per
+// emission site, like trace.Config.
+type Config struct {
+	// Campaign, when non-nil, is the campaign-level aggregate the run
+	// reports into: host-plane counters mirror into it live (so /metrics
+	// and /statusz move while the run executes), and the caller merges the
+	// run's full snapshot via Campaign.AddRun on completion.
+	Campaign *Campaign
+}
+
+// MPIMetrics is the sim-plane instrument set of the MPI runtime, laned by
+// rank: every update happens on the owning rank's program, whose event
+// order is deterministic for any shard count.
+type MPIMetrics struct {
+	// Per collective class: point-to-point messages/bytes and collective
+	// operation counts.
+	P2PMsgs    *Counter
+	P2PBytes   *Counter
+	Barriers   *Counter
+	Allreduces *Counter
+
+	// Blocking-wait structure: count of waits that actually blocked and
+	// the distribution of their simulated durations.
+	Waits    *Counter
+	WaitHist *Histogram
+
+	// Per-phase simulated-time attribution — the paper's Fig 6a profiling
+	// breakdown as monotonic run totals.
+	Compute   *Sum
+	CommWait  *Sum
+	Sync      *Sum
+	Rebalance *Sum
+}
+
+// NetMetrics is the sim-plane instrument set of the fabric, laned by node:
+// every update happens inside a node's fabric events, which never span
+// shards.
+type NetMetrics struct {
+	// Shared-memory queue contention (the §IV-B "queue size tuning"
+	// pathology): stall count and total simulated stall time.
+	ShmStalls    *Counter
+	ShmStallTime *Sum
+	// NIC egress serialization: messages that waited behind co-located
+	// ranks' traffic, and the total wait.
+	NicSerials    *Counter
+	NicSerialTime *Sum
+	// Missing-ACK recovery stalls (senders blocked in MPI_Wait).
+	AckStalls    *Counter
+	AckStallTime *Sum
+}
+
+// DriverMetrics is the sim-plane instrument set of the driver: epoch-scoped
+// counters updated from rank 0's redistribution context (lane 0) and a
+// per-rank step counter.
+type DriverMetrics struct {
+	Epochs         *Counter
+	MigratedBlocks *Counter
+	MigratedBytes  *Counter
+	DirHandoffs    *Counter
+	DirInstalls    *Counter
+	Steps          *Counter // rank lanes
+}
+
+// SchedMetrics is the host-plane instrument set of the sharded scheduler:
+// window structure and worker-pool behavior. Everything here depends on the
+// shard count (and occupancy on GOMAXPROCS), so it lives on the host plane
+// and is excluded from identity checks.
+type SchedMetrics struct {
+	// Windows counts executed lookahead windows; ParallelWindows the subset
+	// fanned out to the worker pool (the rest ran inline on the
+	// coordinator) — together the worker-pool occupancy picture.
+	Windows         *HostCounter
+	ParallelWindows *HostCounter
+	// WindowEvents is the distribution of DES events executed per window,
+	// ActiveShards the distribution of shards active per window.
+	WindowEvents *HostHistogram
+	ActiveShards *HostHistogram
+	// MergeDepth is the distribution of staged cross-shard deliveries per
+	// merge (the merge-injection queue depth).
+	MergeDepth *HostHistogram
+	// ImbalanceMax is the run's worst per-window shard imbalance:
+	// max-shard-events / mean-shard-events over the window's active shards.
+	ImbalanceMax *HostGauge
+}
+
+// RunSet is the full instrument collection of one simulation run, handed
+// out by the driver to each instrumented layer.
+type RunSet struct {
+	Reg   *Registry
+	MPI   *MPIMetrics
+	Net   *NetMetrics
+	Drv   *DriverMetrics
+	Sched *SchedMetrics
+}
+
+// waitBounds buckets blocking-wait durations (simulated seconds): the
+// healthy range is sub-millisecond; the ACK-recovery pathology lands in the
+// millisecond buckets.
+var waitBounds = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1}
+
+// decadeBounds buckets nonnegative integer-ish host quantities by decade.
+var decadeBounds = []float64{1, 10, 100, 1e3, 1e4, 1e5, 1e6}
+
+// shardBounds buckets active-shard counts by power of two.
+var shardBounds = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// NewRunSet builds the registry and instrument sets for a run over nranks
+// ranks on nodes nodes. campaign may be nil; when set, host counters mirror
+// into its live aggregates.
+func NewRunSet(nranks, nodes int, campaign *Campaign) *RunSet {
+	r := NewRegistry()
+	var windowsParent *atomic.Int64
+	if campaign != nil {
+		windowsParent = &campaign.liveWindows
+	}
+	return &RunSet{
+		Reg: r,
+		MPI: &MPIMetrics{
+			P2PMsgs:    r.Counter("sim_mpi_p2p_msgs_total", "point-to-point messages sent", nranks),
+			P2PBytes:   r.Counter("sim_mpi_p2p_bytes_total", "point-to-point bytes sent", nranks),
+			Barriers:   r.Counter("sim_mpi_barrier_ops_total", "barrier operations completed (per participating rank)", nranks),
+			Allreduces: r.Counter("sim_mpi_allreduce_ops_total", "allreduce operations completed (per participating rank)", nranks),
+			Waits:      r.Counter("sim_mpi_waits_total", "MPI_Wait calls that blocked", nranks),
+			WaitHist:   r.Histogram("sim_mpi_wait_seconds", "blocked MPI_Wait durations, simulated seconds", nranks, waitBounds),
+			Compute:    r.Sum("sim_phase_compute_seconds_total", "simulated time in compute kernels, summed over ranks", nranks),
+			CommWait:   r.Sum("sim_phase_commwait_seconds_total", "simulated time blocked in P2P waits, summed over ranks", nranks),
+			Sync:       r.Sum("sim_phase_sync_seconds_total", "simulated time blocked in collectives, summed over ranks", nranks),
+			Rebalance:  r.Sum("sim_phase_rebalance_seconds_total", "simulated time charged to redistribution, summed over ranks", nranks),
+		},
+		Net: &NetMetrics{
+			ShmStalls:     r.Counter("sim_net_shm_stalls_total", "local deliveries stalled by shm queue contention", nodes),
+			ShmStallTime:  r.Sum("sim_net_shm_stall_seconds_total", "total simulated shm contention stall time", nodes),
+			NicSerials:    r.Counter("sim_net_nic_serial_total", "remote sends serialized behind the node NIC", nodes),
+			NicSerialTime: r.Sum("sim_net_nic_serial_seconds_total", "total simulated NIC egress serialization wait", nodes),
+			AckStalls:     r.Counter("sim_net_ack_stalls_total", "sends blocked in the missing-ACK recovery path", nodes),
+			AckStallTime:  r.Sum("sim_net_ack_stall_seconds_total", "total simulated ACK-recovery stall time", nodes),
+		},
+		Drv: &DriverMetrics{
+			Epochs:         r.Counter("sim_driver_epochs_total", "communication-plan epochs built (including the initial placement)", 1),
+			MigratedBlocks: r.Counter("sim_driver_migrated_blocks_total", "blocks migrated at redistributions", 1),
+			MigratedBytes:  r.Counter("sim_driver_migrated_bytes_total", "block state bytes migrated at redistributions", 1),
+			DirHandoffs:    r.Counter("sim_driver_dir_handoffs_total", "ownership-delta handoff records exchanged", 1),
+			DirInstalls:    r.Counter("sim_driver_dir_installs_total", "directory install records pushed to home ranks", 1),
+			Steps:          r.Counter("sim_driver_steps_total", "BSP timesteps executed, summed over ranks", nranks),
+		},
+		Sched: &SchedMetrics{
+			Windows:         r.HostCounter("host_sched_windows_total", "lookahead windows executed", windowsParent),
+			ParallelWindows: r.HostCounter("host_sched_parallel_windows_total", "windows fanned out to the worker pool", nil),
+			WindowEvents:    r.HostHistogram("host_sched_window_events", "DES events executed per window", decadeBounds),
+			ActiveShards:    r.HostHistogram("host_sched_active_shards", "shards active per window", shardBounds),
+			MergeDepth:      r.HostHistogram("host_sched_merge_queue_depth", "staged cross-shard deliveries per merge", decadeBounds),
+			ImbalanceMax:    r.HostGauge("host_sched_imbalance_max", "worst per-window max/mean shard event imbalance"),
+		},
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"amrtools/internal/check"
+	"amrtools/internal/metrics"
 	"amrtools/internal/sim"
 	"amrtools/internal/simnet"
 	"amrtools/internal/trace"
@@ -114,6 +115,11 @@ type World struct {
 	// operation — the flight recorder of internal/trace. The nil check at
 	// each emission site is the entire disabled-path cost.
 	tracer *trace.Recorder
+
+	// mx, when non-nil, is the run's sim-plane MPI instrument set
+	// (internal/metrics), laned by rank — same disabled-path discipline as
+	// the tracer: one nil check per site.
+	mx *metrics.MPIMetrics
 
 	// paranoid enables the invariant audits of internal/check: collective
 	// round membership inline, message/request hygiene at AuditTeardown.
@@ -253,6 +259,12 @@ func (w *World) Meter(rank int) *Meter { return &w.meters[rank] }
 // SetTracer attaches a flight recorder (nil detaches it).
 func (w *World) SetTracer(tr *trace.Recorder) { w.tracer = tr }
 
+// SetMetrics attaches the run's MPI instrument set (nil detaches it). The
+// set must be laned by rank (metrics.NewRunSet does this): each rank only
+// ever writes its own lane, so sharded execution needs no locking and float
+// phase totals fold in deterministic lane order.
+func (w *World) SetMetrics(mx *metrics.MPIMetrics) { w.mx = mx }
+
 // Spawn starts rank's program as a simulated process. body receives the
 // rank-bound communicator.
 func (w *World) Spawn(rank int, body func(c *Comm)) {
@@ -378,6 +390,10 @@ func (c *Comm) Isend(dst, tag, bytes int) *Request {
 	m := &w.meters[c.rank]
 	m.MsgsSent++
 	m.BytesSent += int64(bytes)
+	if mx := w.mx; mx != nil {
+		mx.P2PMsgs.Inc(c.rank)
+		mx.P2PBytes.Add(c.rank, int64(bytes))
+	}
 	plan := w.net.PlanSend(c.rank, dst, bytes)
 	req := c.newRequest(WaitSend, bytes, dst, tag)
 	src := c.rank
@@ -478,6 +494,11 @@ func (c *Comm) Wait(req *Request) {
 		dur := c.p.Now() - start
 		m.CommWait += dur
 		m.Waits++
+		if mx := c.w.mx; mx != nil {
+			mx.Waits.Inc(c.rank)
+			mx.WaitHist.Observe(c.rank, dur)
+			mx.CommWait.Add(c.rank, dur)
+		}
 		if tr := c.w.tracer; tr != nil {
 			kind := trace.SendWait
 			if req.kind == WaitRecv {
@@ -596,6 +617,10 @@ func (c *Comm) Barrier() {
 	}
 	c.p.Await(&b.fut)
 	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
+	if mx := w.mx; mx != nil {
+		mx.Barriers.Inc(c.rank)
+		mx.Sync.Add(c.rank, c.p.Now()-arrivedAt)
+	}
 	w.depart(b)
 	sp.End(float64(c.p.Now()))
 }
@@ -623,6 +648,10 @@ func (c *Comm) AllreduceSum(v float64) float64 {
 	c.p.Await(&b.fut)
 	sum := b.sum
 	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
+	if mx := w.mx; mx != nil {
+		mx.Allreduces.Inc(c.rank)
+		mx.Sync.Add(c.rank, c.p.Now()-arrivedAt)
+	}
 	w.depart(b)
 	sp.End(float64(c.p.Now()))
 	return sum
@@ -646,6 +675,14 @@ func (c *Comm) shardCollective(op string, kind trace.Kind, v float64) float64 {
 		collArrival{t: arrivedAt, v: v, rank: int32(c.rank), op: op, c: c})
 	c.p.Await(&c.collFut)
 	w.meters[c.rank].Sync += c.p.Now() - arrivedAt
+	if mx := w.mx; mx != nil {
+		if op == "barrier" {
+			mx.Barriers.Inc(c.rank)
+		} else {
+			mx.Allreduces.Inc(c.rank)
+		}
+		mx.Sync.Add(c.rank, c.p.Now()-arrivedAt)
+	}
 	sp.End(float64(c.p.Now()))
 	return c.collSum
 }
@@ -757,6 +794,9 @@ func (c *Comm) Compute(cost float64) float64 {
 	start := c.p.Now()
 	c.p.Sleep(dur)
 	c.w.meters[c.rank].Compute += dur
+	if mx := c.w.mx; mx != nil {
+		mx.Compute.Add(c.rank, dur)
+	}
 	if tr := c.w.tracer; tr != nil {
 		t0, t1 := float64(start), float64(c.p.Now())
 		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Compute,
@@ -794,6 +834,9 @@ func (c *Comm) ChargeRebalance(d float64) {
 	start := c.p.Now()
 	c.p.Sleep(d)
 	c.w.meters[c.rank].Rebalance += d
+	if mx := c.w.mx; mx != nil {
+		mx.Rebalance.Add(c.rank, d)
+	}
 	if tr := c.w.tracer; tr != nil {
 		tr.Emit(trace.Span{Rank: int32(c.rank), Kind: trace.Rebalance,
 			T0: float64(start), T1: float64(c.p.Now()), Peer: -1, Tag: -1})

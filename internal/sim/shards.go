@@ -38,6 +38,7 @@ import (
 	"sort"
 
 	"amrtools/internal/check"
+	"amrtools/internal/metrics"
 )
 
 // stagedMsg is one cross-shard message delivery parked in a staging buffer
@@ -84,6 +85,14 @@ type Shards struct {
 	workers []chan Time   // per-shard window commands (nil until first fan-out)
 	done    chan int      // worker completion notifications
 	panics  []interface{} // per-shard panic captured during a fanned-out window
+
+	// mx, when non-nil, is the run's host-plane scheduler instrument set
+	// (internal/metrics): window counts, events per window, occupancy,
+	// merge depth. Host plane because all of it depends on the shard count;
+	// updated only on the coordinator, between window executions. evBase is
+	// its per-window Events() baseline, reused across windows.
+	mx     *metrics.SchedMetrics
+	evBase []int64
 
 	running bool
 }
@@ -145,6 +154,9 @@ func (s *Shards) SetMinParallel(n int) {
 	}
 	s.minParallel = n
 }
+
+// SetMetrics attaches the run's scheduler instrument set (nil detaches it).
+func (s *Shards) SetMetrics(mx *metrics.SchedMetrics) { s.mx = mx }
 
 // OnMerge registers a hook run on the coordinator after each window, once
 // staged deliveries are injected. Hooks run in registration order with the
@@ -283,6 +295,9 @@ func (s *Shards) mergeStaged() {
 		s.scratch = sc
 		return
 	}
+	if mx := s.mx; mx != nil {
+		mx.MergeDepth.Observe(float64(len(sc)))
+	}
 	sort.Slice(sc, func(i, j int) bool {
 		if sc[i].t != sc[j].t {
 			return sc[i].t < sc[j].t
@@ -314,11 +329,25 @@ func (s *Shards) runOneWindow(end Time) {
 		}
 	}
 	s.active = act
+	if mx := s.mx; mx != nil {
+		mx.Windows.Inc()
+		mx.ActiveShards.Observe(float64(len(act)))
+		if s.evBase == nil {
+			s.evBase = make([]int64, len(s.engs))
+		}
+		for _, i := range act {
+			s.evBase[i] = s.engs[i].Events()
+		}
+	}
 	if len(act) < s.minParallel {
 		for _, i := range act {
 			s.engs[i].runWindow(end)
 		}
+		s.observeWindow(act)
 		return
+	}
+	if mx := s.mx; mx != nil {
+		mx.ParallelWindows.Inc()
 	}
 	s.startWorkers()
 	for _, i := range act {
@@ -335,6 +364,29 @@ func (s *Shards) runOneWindow(end Time) {
 			s.panics[i] = nil
 			panic(pv)
 		}
+	}
+	s.observeWindow(act)
+}
+
+// observeWindow records the finished window's per-shard event deltas into
+// the host-plane instruments: total events this window and the max/mean
+// imbalance across its active shards.
+func (s *Shards) observeWindow(act []int) {
+	mx := s.mx
+	if mx == nil || len(act) == 0 {
+		return
+	}
+	var total, max int64
+	for _, i := range act {
+		d := s.engs[i].Events() - s.evBase[i]
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	mx.WindowEvents.Observe(float64(total))
+	if total > 0 {
+		mx.ImbalanceMax.SetMax(float64(max) * float64(len(act)) / float64(total))
 	}
 }
 

@@ -17,6 +17,7 @@ package simnet
 
 import (
 	"amrtools/internal/check"
+	"amrtools/internal/metrics"
 	"amrtools/internal/sim"
 	"amrtools/internal/trace"
 	"amrtools/internal/xrand"
@@ -159,6 +160,11 @@ type Network struct {
 	// recovery stall) — the flight recorder of internal/trace.
 	tracer *trace.Recorder
 
+	// mx, when non-nil, is the run's sim-plane fabric instrument set
+	// (internal/metrics), laned by node — a node's fabric events never
+	// span shards, so lane updates need no locking.
+	mx *metrics.NetMetrics
+
 	// paranoid enables the invariant audits of internal/check: shm queue
 	// accounting and NIC-clock monotonicity inline, full queue release at
 	// AuditDrained. Defaults to check.Forced() (on under test helpers).
@@ -277,6 +283,10 @@ func (n *Network) Paranoid() bool { return n.paranoid }
 // SetTracer attaches a flight recorder (nil detaches it).
 func (n *Network) SetTracer(tr *trace.Recorder) { n.tracer = tr }
 
+// SetMetrics attaches the run's fabric instrument set (nil detaches it).
+// The set must be laned by node (metrics.NewRunSet does this).
+func (n *Network) SetMetrics(mx *metrics.NetMetrics) { n.mx = mx }
+
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
@@ -331,6 +341,10 @@ func (n *Network) planLocal(src, dst, bytes int) SendPlan {
 		cs.ShmContentions++
 		stall := float64(excess) * n.cfg.ShmContentionPenalty * (1 + n.rngFor(node).ExpFloat64())
 		delay += stall
+		if mx := n.mx; mx != nil {
+			mx.ShmStalls.Inc(node)
+			mx.ShmStallTime.Add(node, stall)
+		}
 		if tr := n.tracer; tr != nil {
 			now := n.engFor(node).Now()
 			tr.Emit(trace.Span{Rank: int32(src), Kind: trace.ShmStall,
@@ -352,6 +366,10 @@ func (n *Network) planRemote(src, dst, bytes int) SendPlan {
 	start := now
 	if n.nicFreeAt[node] > start {
 		start = n.nicFreeAt[node]
+		if mx := n.mx; mx != nil {
+			mx.NicSerials.Inc(node)
+			mx.NicSerialTime.Add(node, start-now)
+		}
 		if tr := n.tracer; tr != nil {
 			// Egress queue wait: the message sat behind co-located ranks'
 			// traffic at the node's shared NIC.
@@ -382,6 +400,10 @@ func (n *Network) planRemote(src, dst, bytes int) SendPlan {
 			// though the receiver already has the data.
 			cs.AckStalls++
 			senderDone = n.cfg.AckRecoveryDelay * (0.5 + n.rngFor(node).Float64())
+			if mx := n.mx; mx != nil {
+				mx.AckStalls.Inc(node)
+				mx.AckStallTime.Add(node, senderDone)
+			}
 			if tr := n.tracer; tr != nil {
 				tr.Emit(trace.Span{Rank: int32(src), Kind: trace.AckStall,
 					T0: now, T1: now + senderDone,

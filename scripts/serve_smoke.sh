@@ -1,0 +1,55 @@
+#!/bin/sh
+# serve_smoke.sh — smoke-test the live observability endpoint: start a
+# short campaign with -serve, scrape /metrics and /statusz while the
+# campaign executes, and fail on any non-200 response or an empty
+# exposition. Used by `make serve-smoke` and the CI serve-smoke job.
+set -eu
+
+log=$(mktemp)
+trap 'kill "$pid" 2>/dev/null || true; rm -f "$log"' EXIT
+
+# fig6 on one worker gives the server a multi-second window to answer in.
+go run ./cmd/experiments -quick -only fig6 -j 1 -serve 127.0.0.1:0 \
+    >/dev/null 2>"$log" &
+pid=$!
+
+# The binary prints "serving ... on http://ADDR" to stderr once the
+# listener is bound (before the first campaign starts).
+addr=""
+for _ in $(seq 1 150); do
+    addr=$(sed -n 's|^serving .* on http://||p' "$log" | head -n 1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: campaign exited before binding" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: no listen address announced" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+# curl -f fails on any non-2xx status.
+metrics=$(curl -fsS "http://$addr/metrics") || {
+    echo "serve-smoke: GET /metrics failed" >&2; exit 1; }
+if [ -z "$metrics" ]; then
+    echo "serve-smoke: /metrics exposition is empty" >&2
+    exit 1
+fi
+printf '%s\n' "$metrics" | grep -q '^host_campaign_runs_total' || {
+    echo "serve-smoke: /metrics missing host_campaign_runs_total:" >&2
+    printf '%s\n' "$metrics" | head -n 20 >&2
+    exit 1
+}
+statusz=$(curl -fsS "http://$addr/statusz") || {
+    echo "serve-smoke: GET /statusz failed" >&2; exit 1; }
+printf '%s\n' "$statusz" | grep -q 'campaign progress' || {
+    echo "serve-smoke: /statusz is not the progress page" >&2
+    exit 1
+}
+
+wait "$pid" || { echo "serve-smoke: campaign failed" >&2; cat "$log" >&2; exit 1; }
+echo "serve-smoke: OK — http://$addr served /metrics and /statusz during the campaign"
