@@ -30,16 +30,17 @@ race:
 	$(GO) test -race -count=1 $(RACE_PKGS)
 
 # One iteration of every root benchmark (each regenerates a paper table or
-# figure); benchjson tees the text output through and archives the parsed
-# results as BENCH_PR8.json for the CI artifact.
+# figure, plus the query-path benchmarks over the million-row colfile);
+# benchjson tees the text output through and archives the parsed results as
+# BENCH_PR9.json for the CI artifact.
 bench:
-	$(GO) test -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out BENCH_PR8.json
+	$(GO) test -bench=. -benchtime=1x . | $(GO) run ./cmd/benchjson -out BENCH_PR9.json
 
 # Delta table between the previous PR's archived benchmark run and the
 # current one: ns/op and allocs/op per benchmark, regressions beyond 10%
 # marked. Advisory — the target never fails the build.
 benchcmp:
-	$(GO) run ./cmd/benchjson -compare BENCH_PR7.json BENCH_PR8.json -threshold 10
+	$(GO) run ./cmd/benchjson -compare BENCH_PR8.json BENCH_PR9.json -threshold 10
 
 # Live-endpoint smoke: run a short campaign with -serve and scrape
 # /metrics + /statusz while it executes; any non-200 response or an empty

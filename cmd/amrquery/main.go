@@ -5,13 +5,17 @@
 // Usage:
 //
 //	amrquery -file telemetry.col "SELECT rank, sum(comm) AS total FROM t WHERE step >= 10 GROUP BY rank ORDER BY total DESC LIMIT 5"
+//	amrquery -file telemetry.col -explain "SELECT count(*) FROM t WHERE step >= 10"
 //	amrquery -file telemetry.col -schema
 //	amrquery -file telemetry.col            # interactive: one query per line
 //
-// The file's table is named "t" in queries. Range predicates of the form
-// `-prune col=lo:hi` are pushed down to the file's per-chunk statistics so
-// non-matching chunks are skipped without decoding. `-csv` emits results as
-// CSV for downstream tooling.
+// The file's table is named "t" in queries. Queries execute directly
+// against the file through the footer block index: chunks whose zone maps
+// exclude the WHERE clause are skipped without decoding, only referenced
+// columns are decoded, and min/max/sum/count/avg queries that the index
+// fully covers are answered without touching any payload. `-explain`
+// prints what the planner did. `-prune col=lo:hi` remains as a manual
+// streaming-path override. `-csv` emits results as CSV.
 package main
 
 import (
@@ -30,7 +34,8 @@ import (
 func main() {
 	file := flag.String("file", "", "columnar telemetry file")
 	schema := flag.Bool("schema", false, "print the file schema and row count, then exit")
-	prune := flag.String("prune", "", "chunk-pruning range predicate: col=lo:hi")
+	prune := flag.String("prune", "", "manual chunk-pruning range predicate: col=lo:hi (streaming path)")
+	explain := flag.Bool("explain", false, "print chunks scanned vs skipped, columns decoded, and metadata-only status")
 	maxRows := flag.Int("rows", 50, "maximum rows to print (0 = all)")
 	asCSV := flag.Bool("csv", false, "emit query results as CSV instead of an aligned table")
 	flag.Parse()
@@ -46,74 +51,62 @@ func main() {
 	}
 	defer f.Close()
 
-	var table *telemetry.Table
-	skipped := 0
+	// Manual override: -prune keeps the pre-v2 streaming behavior, with
+	// rows filtered up front and queries running in memory.
 	if *prune != "" {
-		col, lo, hi, err := parsePrune(*prune)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "amrquery:", err)
-			os.Exit(2)
-		}
-		table, skipped, err = colfile.ReadWhere(f, col, lo, hi)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "amrquery:", err)
-			os.Exit(1)
-		}
-	} else {
-		table, err = colfile.ReadAll(f)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "amrquery:", err)
-			os.Exit(1)
-		}
+		runPruned(f, *prune, *schema, *explain, *maxRows, *asCSV)
+		return
+	}
+
+	r, err := colfile.OpenFile(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amrquery:", err)
+		os.Exit(1)
 	}
 
 	if *schema {
-		fmt.Printf("%s: %d rows\n", *file, table.NumRows())
-		for _, s := range table.Schema() {
+		// Schema and row count come from the block index: no payload reads.
+		fmt.Printf("%s: %d rows (format v%d, %d chunks)\n", *file, r.NumRows(), r.Version(), r.NumChunks())
+		for _, s := range r.Schema() {
 			fmt.Printf("  %-16s %s\n", s.Name, s.Type)
 		}
 		return
 	}
-	env := map[string]*telemetry.Table{"t": table}
-	runOne := func(query string) {
-		out, err := tql.Run(query, env)
+
+	runOne := func(query string) error {
+		q, err := tql.Parse(query)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "amrquery:", err)
-			return
+			return err
+		}
+		out, ex, err := tql.ExecFileExplain(q, r)
+		if *explain && ex != nil {
+			fmt.Println(formatExplain(ex))
+		}
+		if err != nil {
+			return err
 		}
 		if *asCSV {
-			if err := out.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "amrquery:", err)
-			}
-			return
+			return out.WriteCSV(os.Stdout)
+		}
+		if !*explain && ex != nil && ex.ChunksSkipped > 0 {
+			fmt.Printf("(pruned %d chunks via embedded statistics)\n", ex.ChunksSkipped)
 		}
 		fmt.Print(out.Render(*maxRows))
+		return nil
 	}
 
 	query := strings.Join(flag.Args(), " ")
 	if strings.TrimSpace(query) != "" {
-		out, err := tql.Run(query, env)
-		if err != nil {
+		if err := runOne(query); err != nil {
 			fmt.Fprintln(os.Stderr, "amrquery:", err)
 			os.Exit(1)
 		}
-		if *asCSV {
-			if err := out.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintln(os.Stderr, "amrquery:", err)
-				os.Exit(1)
-			}
-			return
-		}
-		if skipped > 0 {
-			fmt.Printf("(pruned %d chunks via embedded statistics)\n", skipped)
-		}
-		fmt.Print(out.Render(*maxRows))
 		return
 	}
 
 	// No query on the command line: interactive mode, one TQL statement per
 	// line (the hypothesis-driven exploration loop of §IV-C).
-	fmt.Printf("amrquery: %d rows loaded as table \"t\"; one TQL query per line, ctrl-D to exit\n", table.NumRows())
+	fmt.Printf("amrquery: %d rows in table \"t\"; one TQL query per line, ctrl-D to exit\n", r.NumRows())
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -129,7 +122,76 @@ func main() {
 		if line == "exit" || line == "quit" {
 			return
 		}
-		runOne(line)
+		if err := runOne(line); err != nil {
+			fmt.Fprintln(os.Stderr, "amrquery:", err)
+		}
+	}
+}
+
+// formatExplain renders the planner report printed by -explain.
+func formatExplain(ex *tql.Explain) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "explain: chunks: %d scanned, %d skipped (of %d)",
+		ex.ChunksScanned, ex.ChunksSkipped, ex.ChunksTotal)
+	if len(ex.ColumnsDecoded) > 0 {
+		fmt.Fprintf(&sb, "; columns decoded: %s", strings.Join(ex.ColumnsDecoded, ", "))
+	} else {
+		sb.WriteString("; columns decoded: none")
+	}
+	if ex.MetadataOnly {
+		sb.WriteString("; answered from footer metadata only")
+	}
+	if ex.Fallback != "" {
+		fmt.Fprintf(&sb, "; legacy full-scan path (%s)", ex.Fallback)
+	}
+	return sb.String()
+}
+
+// runPruned is the -prune override: stream the file, skip chunks via the
+// inline min/max statistics, filter rows to [lo,hi], query in memory.
+func runPruned(f *os.File, prune string, schema, explain bool, maxRows int, asCSV bool) {
+	col, lo, hi, err := parsePrune(prune)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amrquery:", err)
+		os.Exit(2)
+	}
+	table, skipped, err := colfile.ReadWhere(f, col, lo, hi)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "amrquery:", err)
+		os.Exit(1)
+	}
+	if schema {
+		fmt.Printf("%d rows after -prune\n", table.NumRows())
+		for _, s := range table.Schema() {
+			fmt.Printf("  %-16s %s\n", s.Name, s.Type)
+		}
+		return
+	}
+	env := map[string]*telemetry.Table{"t": table}
+	runOne := func(query string) error {
+		out, err := tql.Run(query, env)
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			return out.WriteCSV(os.Stdout)
+		}
+		if explain {
+			fmt.Printf("explain: manual -prune: %d chunks skipped while streaming\n", skipped)
+		} else if skipped > 0 {
+			fmt.Printf("(pruned %d chunks via embedded statistics)\n", skipped)
+		}
+		fmt.Print(out.Render(maxRows))
+		return nil
+	}
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" {
+		fmt.Fprintln(os.Stderr, "amrquery: -prune requires a query on the command line")
+		os.Exit(2)
+	}
+	if err := runOne(query); err != nil {
+		fmt.Fprintln(os.Stderr, "amrquery:", err)
+		os.Exit(1)
 	}
 }
 

@@ -47,22 +47,25 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	table, err := colfile.ReadAll(f)
-	f.Close()
+	defer f.Close()
+	r, err := colfile.OpenFile(f)
 	if err != nil {
 		fail(err)
 	}
 
 	if *schema {
-		fmt.Printf("%s: %d spans\n", *file, table.NumRows())
-		for _, s := range table.Schema() {
+		// Schema and row count come from the footer index: no payload reads.
+		fmt.Printf("%s: %d spans\n", *file, r.NumRows())
+		for _, s := range r.Schema() {
 			fmt.Printf("  %-16s %s\n", s.Name, s.Type)
 		}
 		return
 	}
 
 	if *query != "" {
-		out, err := tql.Run(*query, map[string]*telemetry.Table{"t": table})
+		// Queries run against the file through the block index: chunk
+		// pruning, projection pushdown, metadata-only aggregates.
+		out, err := tql.RunFile(*query, r)
 		if err != nil {
 			fail(err)
 		}
@@ -75,6 +78,13 @@ func main() {
 		}
 		fmt.Print(out.Render(*maxRows))
 		return
+	}
+
+	// The detectors and the Perfetto exporter walk every span: materialize
+	// the full table once.
+	table, err := r.Table()
+	if err != nil {
+		fail(err)
 	}
 
 	if *perfetto != "" {

@@ -1,6 +1,5 @@
 // Package colfile implements a compact binary columnar file format for
-// telemetry tables, with per-chunk min/max statistics for predicate
-// pushdown.
+// telemetry tables, with embedded statistics for predicate pushdown.
 //
 // The paper's Lesson 4 argues that binary columnar formats with embedded
 // statistics (Parquet/Arrow-style), paired with in-situ collection, are the
@@ -8,35 +7,74 @@
 // moved from CSV to custom binary formats precisely because parsing became
 // the bottleneck. This package is that format: int columns are
 // delta+zigzag+varint encoded, floats are raw little-endian, strings are
-// chunk-local dictionaries. Each chunk carries numeric min/max so queries
-// with range predicates skip non-matching chunks without decoding them.
+// chunk-local dictionaries.
 //
-// Layout:
+// Version 2 (written by this package) is a multi-block layout: chunks as in
+// version 1, followed by a footer block index holding every chunk's byte
+// offset, row count, CRC32 checksum, and extended per-column zone maps
+// (min/max/sum/count). Readers with random access (Open) seek straight to
+// the chunks a query needs — or answer min/max/sum/count/avg aggregates
+// from the footer without touching any payload. Version-1 files (no footer)
+// remain readable through both the streaming path and Open, which rebuilds
+// the block index with one header-scan pass.
 //
-//	header:  magic "AMRC", version u8, ncols u16,
+// Layout (version 2):
+//
+//	header:  magic "AMRC", version u8 = 2, ncols u16,
 //	         per column: name (u16 len + bytes), type u8
-//	chunk*:  total byte length u32, row count u32,
-//	         per column: stats flag u8 [min f64, max f64],
-//	         payload length u32, payload bytes
+//	chunk*:  total byte length u32, then the body:
+//	           row count u32,
+//	           per column: stats flag u8 [min f64, max f64],
+//	           payload length u32, payload bytes
+//	footer:  sentinel u32 0xFFFFFFFF (in place of a chunk length),
+//	         footer body:
+//	           chunk count u32,
+//	           per chunk: offset u64 (of the chunk's length prefix),
+//	             body length u32, row count u32, crc32(body) u32,
+//	             per column: zone flag u8 (bit0 = min/max, bit1 = sum/count)
+//	               [min f64, max f64] [sum f64, count u64]
+//	         footer body length u32, crc32(footer body) u32, magic "AMRF"
+//
+// Version 1 is the same minus the footer, with version byte 1.
 package colfile
 
 import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
-	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
 	"amrtools/internal/telemetry"
 )
 
-var magic = [4]byte{'A', 'M', 'R', 'C'}
+var (
+	magic       = [4]byte{'A', 'M', 'R', 'C'}
+	footerMagic = [4]byte{'A', 'M', 'R', 'F'}
+)
 
-const version = 1
+const (
+	version1 = 1
+	version2 = 2
 
-// Stats are the embedded per-chunk, per-column statistics.
+	// footerSentinel marks the end of the chunk sequence in version-2
+	// files: it occupies the position of a chunk length prefix and can
+	// never be a real one (chunk lengths near 4 GiB are rejected long
+	// before that by the row-count/payload cross-checks).
+	footerSentinel = 0xFFFFFFFF
+
+	// trailerLen is the fixed-size tail of a version-2 file: footer body
+	// length u32 + footer crc32 u32 + footer magic.
+	trailerLen = 12
+
+	zoneHasRange = 1 << 0
+	zoneHasSum   = 1 << 1
+)
+
+// Stats are the embedded per-chunk, per-column min/max statistics carried
+// inline in every chunk body (versions 1 and 2).
 type Stats struct {
 	Min, Max float64
 	Valid    bool // false for string columns and empty chunks
@@ -45,24 +83,58 @@ type Stats struct {
 // ChunkStats maps column name → stats for one chunk.
 type ChunkStats map[string]Stats
 
-// Writer streams a table schema and chunks to an io.Writer.
+// ZoneMap is the footer's extended per-chunk, per-column statistics. For a
+// numeric column of a NaN-free chunk, HasRange and HasSum are both true:
+// Min/Max bound every value, Sum is the left-to-right total (ints summed as
+// float64, matching the query layer's numeric coercion), and Count is the
+// number of values. Chunks containing NaN opt out of their zone map
+// entirely (both flags false) so pushdown and metadata-only aggregation
+// never reason from statistics a NaN silently escaped. String columns only
+// ever have Count.
+type ZoneMap struct {
+	Min, Max float64
+	Sum      float64
+	Count    int64
+	HasRange bool
+	HasSum   bool
+}
+
+// ChunkMeta is one footer block-index entry: where a chunk lives, how many
+// rows it holds, its checksum, and its per-column zone maps.
+type ChunkMeta struct {
+	Offset int64  // file offset of the chunk's u32 length prefix
+	Length uint32 // chunk body length in bytes
+	Rows   int
+	CRC    uint32 // crc32 (IEEE) of the chunk body; valid when HasCRC
+	HasCRC bool   // false for version-1 files (no checksums on disk)
+	Zones  []ZoneMap
+}
+
+// Writer streams a table schema and chunks to an io.Writer, producing a
+// version-2 file: chunks as written, then the footer block index on
+// Finalize.
 type Writer struct {
 	w      *bufio.Writer
 	schema []telemetry.ColSpec
+	off    int64 // bytes emitted so far (header + chunks)
+	index  []ChunkMeta
+	done   bool
 }
 
-// NewWriter writes the header for schema and returns a chunk writer.
+// NewWriter writes the header for schema and returns a chunk writer. Call
+// Finalize (or Flush) once after the last chunk to emit the footer.
 func NewWriter(w io.Writer, schema []telemetry.ColSpec) (*Writer, error) {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return nil, err
 	}
-	if err := bw.WriteByte(version); err != nil {
+	if err := bw.WriteByte(version2); err != nil {
 		return nil, err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, uint16(len(schema))); err != nil {
 		return nil, err
 	}
+	off := int64(4 + 1 + 2)
 	for _, s := range schema {
 		if err := binary.Write(bw, binary.LittleEndian, uint16(len(s.Name))); err != nil {
 			return nil, err
@@ -73,13 +145,17 @@ func NewWriter(w io.Writer, schema []telemetry.ColSpec) (*Writer, error) {
 		if err := bw.WriteByte(byte(s.Type)); err != nil {
 			return nil, err
 		}
+		off += int64(2 + len(s.Name) + 1)
 	}
-	return &Writer{w: bw, schema: schema}, nil
+	return &Writer{w: bw, schema: schema, off: off}, nil
 }
 
 // WriteChunk appends all rows of t as one chunk. t's schema must match the
 // writer's.
 func (w *Writer) WriteChunk(t *telemetry.Table) error {
+	if w.done {
+		return fmt.Errorf("colfile: WriteChunk after Finalize")
+	}
 	if err := sameSchema(w.schema, t.Schema()); err != nil {
 		return err
 	}
@@ -87,15 +163,17 @@ func (w *Writer) WriteChunk(t *telemetry.Table) error {
 	if err := binary.Write(&body, binary.LittleEndian, uint32(t.NumRows())); err != nil {
 		return err
 	}
-	for _, s := range w.schema {
-		payload, st, err := encodeColumn(t, s)
+	zones := make([]ZoneMap, len(w.schema))
+	for ci, s := range w.schema {
+		payload, z, err := encodeColumn(t, s)
 		if err != nil {
 			return err
 		}
-		if st.Valid {
+		zones[ci] = z
+		if z.HasRange {
 			body.WriteByte(1)
-			binary.Write(&body, binary.LittleEndian, st.Min)
-			binary.Write(&body, binary.LittleEndian, st.Max)
+			binary.Write(&body, binary.LittleEndian, z.Min)
+			binary.Write(&body, binary.LittleEndian, z.Max)
 		} else {
 			body.WriteByte(0)
 		}
@@ -105,12 +183,75 @@ func (w *Writer) WriteChunk(t *telemetry.Table) error {
 	if err := binary.Write(w.w, binary.LittleEndian, uint32(body.Len())); err != nil {
 		return err
 	}
-	_, err := w.w.Write(body.Bytes())
-	return err
+	if _, err := w.w.Write(body.Bytes()); err != nil {
+		return err
+	}
+	w.index = append(w.index, ChunkMeta{
+		Offset: w.off,
+		Length: uint32(body.Len()),
+		Rows:   t.NumRows(),
+		CRC:    crc32.ChecksumIEEE(body.Bytes()),
+		HasCRC: true,
+		Zones:  zones,
+	})
+	w.off += int64(4 + body.Len())
+	return nil
 }
 
-// Flush flushes buffered output. Call once after the last chunk.
-func (w *Writer) Flush() error { return w.w.Flush() }
+// Finalize writes the footer block index and flushes buffered output. Call
+// once after the last chunk; further WriteChunk calls fail.
+func (w *Writer) Finalize() error {
+	if w.done {
+		return w.w.Flush()
+	}
+	w.done = true
+	var foot bytes.Buffer
+	binary.Write(&foot, binary.LittleEndian, uint32(len(w.index)))
+	for _, m := range w.index {
+		binary.Write(&foot, binary.LittleEndian, uint64(m.Offset))
+		binary.Write(&foot, binary.LittleEndian, m.Length)
+		binary.Write(&foot, binary.LittleEndian, uint32(m.Rows))
+		binary.Write(&foot, binary.LittleEndian, m.CRC)
+		for _, z := range m.Zones {
+			var flag byte
+			if z.HasRange {
+				flag |= zoneHasRange
+			}
+			if z.HasSum {
+				flag |= zoneHasSum
+			}
+			foot.WriteByte(flag)
+			if z.HasRange {
+				binary.Write(&foot, binary.LittleEndian, z.Min)
+				binary.Write(&foot, binary.LittleEndian, z.Max)
+			}
+			if z.HasSum {
+				binary.Write(&foot, binary.LittleEndian, z.Sum)
+				binary.Write(&foot, binary.LittleEndian, uint64(z.Count))
+			}
+		}
+	}
+	if err := binary.Write(w.w, binary.LittleEndian, uint32(footerSentinel)); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(foot.Bytes()); err != nil {
+		return err
+	}
+	if err := binary.Write(w.w, binary.LittleEndian, uint32(foot.Len())); err != nil {
+		return err
+	}
+	if err := binary.Write(w.w, binary.LittleEndian, crc32.ChecksumIEEE(foot.Bytes())); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(footerMagic[:]); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Flush finalizes the file (footer included) and flushes buffered output.
+// It is the historical name for Finalize; call once after the last chunk.
+func (w *Writer) Flush() error { return w.Finalize() }
 
 func sameSchema(a, b []telemetry.ColSpec) error {
 	if len(a) != len(b) {
@@ -124,40 +265,55 @@ func sameSchema(a, b []telemetry.ColSpec) error {
 	return nil
 }
 
-func encodeColumn(t *telemetry.Table, s telemetry.ColSpec) ([]byte, Stats, error) {
+func encodeColumn(t *telemetry.Table, s telemetry.ColSpec) ([]byte, ZoneMap, error) {
 	var buf bytes.Buffer
-	var st Stats
+	var z ZoneMap
 	switch s.Type {
 	case telemetry.Int64:
 		xs := t.Ints(s.Name)
 		var tmp [binary.MaxVarintLen64]byte
 		prev := int64(0)
 		for i, v := range xs {
-			if i == 0 || float64(v) < st.Min {
-				st.Min = float64(v)
+			f := float64(v)
+			if i == 0 || f < z.Min {
+				z.Min = f
 			}
-			if i == 0 || float64(v) > st.Max {
-				st.Max = float64(v)
+			if i == 0 || f > z.Max {
+				z.Max = f
 			}
+			z.Sum += f
 			n := binary.PutVarint(tmp[:], v-prev) // signed varint = zigzag
 			buf.Write(tmp[:n])
 			prev = v
 		}
-		st.Valid = len(xs) > 0
+		z.Count = int64(len(xs))
+		z.HasRange = len(xs) > 0
+		z.HasSum = len(xs) > 0
 	case telemetry.Float64:
 		xs := t.Floats(s.Name)
+		sawNaN := false
 		for i, v := range xs {
-			if i == 0 || v < st.Min {
-				st.Min = v
+			if v != v {
+				sawNaN = true
 			}
-			if i == 0 || v > st.Max {
-				st.Max = v
+			if i == 0 || v < z.Min {
+				z.Min = v
 			}
+			if i == 0 || v > z.Max {
+				z.Max = v
+			}
+			z.Sum += v
 			var b [8]byte
 			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
 			buf.Write(b[:])
 		}
-		st.Valid = len(xs) > 0
+		z.Count = int64(len(xs))
+		// A NaN never registers in the < / > min-max updates, so a zone
+		// map for a NaN-bearing chunk would silently under-report its
+		// range; drop the whole zone so readers never prune or aggregate
+		// from it (pushdown soundness, DESIGN.md §12).
+		z.HasRange = len(xs) > 0 && !sawNaN
+		z.HasSum = z.HasRange
 	case telemetry.String:
 		ss := t.Strings(s.Name)
 		// Chunk-local dictionary.
@@ -185,183 +341,26 @@ func encodeColumn(t *telemetry.Table, s telemetry.ColSpec) ([]byte, Stats, error
 			n := binary.PutUvarint(tmp[:], id)
 			buf.Write(tmp[:n])
 		}
+		z.Count = int64(len(ss))
 	default:
-		return nil, st, fmt.Errorf("colfile: unknown column type %v", s.Type)
+		return nil, z, fmt.Errorf("colfile: unknown column type %v", s.Type)
 	}
-	return buf.Bytes(), st, nil
+	return buf.Bytes(), z, nil
 }
 
-// Reader decodes a colfile stream chunk by chunk.
-type Reader struct {
-	r      *bufio.Reader
-	schema []telemetry.ColSpec
+// ColData is one decoded column of one chunk: exactly one of the slice
+// fields is populated, per the column's type. String columns stay in
+// dictionary form (StrIDs indexes Dict) so scanning code can compare ids
+// instead of materializing strings.
+type ColData struct {
+	Ints   []int64
+	Floats []float64
+	StrIDs []uint32
+	Dict   []string
 }
 
-// NewReader parses the header and returns a chunk reader.
-func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReader(r)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("colfile: reading magic: %w", err)
-	}
-	if m != magic {
-		return nil, errors.New("colfile: bad magic")
-	}
-	ver, err := br.ReadByte()
-	if err != nil {
-		return nil, err
-	}
-	if ver != version {
-		return nil, fmt.Errorf("colfile: unsupported version %d", ver)
-	}
-	var ncols uint16
-	if err := binary.Read(br, binary.LittleEndian, &ncols); err != nil {
-		return nil, err
-	}
-	schema := make([]telemetry.ColSpec, ncols)
-	seen := make(map[string]bool, ncols)
-	for i := range schema {
-		var nameLen uint16
-		if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
-			return nil, err
-		}
-		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
-			return nil, err
-		}
-		typ, err := br.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		if typ > byte(telemetry.String) {
-			return nil, fmt.Errorf("colfile: invalid column type %d", typ)
-		}
-		if seen[string(name)] {
-			return nil, fmt.Errorf("colfile: duplicate column %q in header", name)
-		}
-		seen[string(name)] = true
-		schema[i] = telemetry.ColSpec{Name: string(name), Type: telemetry.ColType(typ)}
-	}
-	return &Reader{r: br, schema: schema}, nil
-}
-
-// Schema returns the file's column specs.
-func (r *Reader) Schema() []telemetry.ColSpec { return r.schema }
-
-// PeekStats reads the next chunk's statistics and raw body without decoding
-// payloads. It returns io.EOF cleanly at end of stream. Use DecodeChunk on
-// the returned body to materialize rows, or discard it to skip the chunk —
-// this is the predicate-pushdown path.
-func (r *Reader) PeekStats() (ChunkStats, []byte, error) {
-	var chunkLen uint32
-	if err := binary.Read(r.r, binary.LittleEndian, &chunkLen); err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, nil, io.EOF
-		}
-		return nil, nil, err
-	}
-	// Read incrementally rather than pre-allocating chunkLen bytes: a
-	// corrupt length field must fail on truncation, not exhaust memory.
-	var bodyBuf bytes.Buffer
-	if n, err := io.CopyN(&bodyBuf, r.r, int64(chunkLen)); err != nil {
-		if errors.Is(err, io.EOF) {
-			// A short chunk body is corruption, not a clean end of stream.
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, nil, fmt.Errorf("colfile: truncated chunk (%d of %d bytes): %w", n, chunkLen, err)
-	}
-	body := bodyBuf.Bytes()
-	stats := make(ChunkStats, len(r.schema))
-	buf := bytes.NewReader(body)
-	var nrows uint32
-	if err := binary.Read(buf, binary.LittleEndian, &nrows); err != nil {
-		return nil, nil, err
-	}
-	for _, s := range r.schema {
-		flag, err := buf.ReadByte()
-		if err != nil {
-			return nil, nil, err
-		}
-		var st Stats
-		if flag == 1 {
-			if err := binary.Read(buf, binary.LittleEndian, &st.Min); err != nil {
-				return nil, nil, err
-			}
-			if err := binary.Read(buf, binary.LittleEndian, &st.Max); err != nil {
-				return nil, nil, err
-			}
-			st.Valid = true
-		}
-		stats[s.Name] = st
-		var plen uint32
-		if err := binary.Read(buf, binary.LittleEndian, &plen); err != nil {
-			return nil, nil, err
-		}
-		if _, err := buf.Seek(int64(plen), io.SeekCurrent); err != nil {
-			return nil, nil, err
-		}
-	}
-	return stats, body, nil
-}
-
-// DecodeChunk materializes a chunk body (from PeekStats) as a table.
-func (r *Reader) DecodeChunk(body []byte) (*telemetry.Table, error) {
-	buf := bytes.NewReader(body)
-	var nrows uint32
-	if err := binary.Read(buf, binary.LittleEndian, &nrows); err != nil {
-		return nil, err
-	}
-	n := int(nrows)
-	if len(r.schema) == 0 && n > 0 {
-		return nil, fmt.Errorf("colfile: %d rows in a zero-column chunk", n)
-	}
-	cols := make([]interface{}, len(r.schema)) // []int64 / []float64 / []string
-	for ci, s := range r.schema {
-		flag, err := buf.ReadByte()
-		if err != nil {
-			return nil, err
-		}
-		if flag == 1 {
-			if _, err := buf.Seek(16, io.SeekCurrent); err != nil {
-				return nil, err
-			}
-		}
-		var plen uint32
-		if err := binary.Read(buf, binary.LittleEndian, &plen); err != nil {
-			return nil, err
-		}
-		if int64(plen) > int64(buf.Len()) {
-			return nil, fmt.Errorf("colfile: column %q payload length %d exceeds chunk body", s.Name, plen)
-		}
-		payload := make([]byte, plen)
-		if _, err := io.ReadFull(buf, payload); err != nil {
-			return nil, err
-		}
-		col, err := decodeColumn(s, payload, n)
-		if err != nil {
-			return nil, fmt.Errorf("colfile: column %q: %w", s.Name, err)
-		}
-		cols[ci] = col
-	}
-	t := telemetry.NewTable(r.schema...)
-	vals := make([]interface{}, len(r.schema))
-	for row := 0; row < n; row++ {
-		for ci := range r.schema {
-			switch c := cols[ci].(type) {
-			case []int64:
-				vals[ci] = c[row]
-			case []float64:
-				vals[ci] = c[row]
-			case []string:
-				vals[ci] = c[row]
-			}
-		}
-		t.Append(vals...)
-	}
-	return t, nil
-}
-
-func decodeColumn(s telemetry.ColSpec, payload []byte, n int) (interface{}, error) {
+func decodeColumnData(s telemetry.ColSpec, payload []byte, n int) (ColData, error) {
+	var cd ColData
 	// Every encoding needs at least one byte per value (floats eight), so a
 	// row count that outruns the payload is corruption — reject it before
 	// allocating n-sized slices.
@@ -370,7 +369,7 @@ func decodeColumn(s telemetry.ColSpec, payload []byte, n int) (interface{}, erro
 		minBytes = 8 * n
 	}
 	if n < 0 || minBytes > len(payload) {
-		return nil, fmt.Errorf("row count %d exceeds %d payload bytes", n, len(payload))
+		return cd, fmt.Errorf("row count %d exceeds %d payload bytes", n, len(payload))
 	}
 	buf := bytes.NewReader(payload)
 	switch s.Type {
@@ -380,70 +379,234 @@ func decodeColumn(s telemetry.ColSpec, payload []byte, n int) (interface{}, erro
 		for i := 0; i < n; i++ {
 			d, err := binary.ReadVarint(buf)
 			if err != nil {
-				return nil, err
+				return cd, err
 			}
 			prev += d
 			out[i] = prev
 		}
-		return out, nil
+		cd.Ints = out
+		return cd, nil
 	case telemetry.Float64:
 		out := make([]float64, n)
-		var b [8]byte
 		for i := 0; i < n; i++ {
-			if _, err := io.ReadFull(buf, b[:]); err != nil {
-				return nil, err
-			}
-			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i : 8*i+8]))
 		}
-		return out, nil
+		cd.Floats = out
+		return cd, nil
 	case telemetry.String:
 		dictN, err := binary.ReadUvarint(buf)
 		if err != nil {
-			return nil, err
+			return cd, err
 		}
 		// Each dictionary entry costs at least one byte (its length prefix).
 		if dictN > uint64(buf.Len()) {
-			return nil, fmt.Errorf("dictionary size %d exceeds payload", dictN)
+			return cd, fmt.Errorf("dictionary size %d exceeds payload", dictN)
 		}
 		dict := make([]string, dictN)
 		for i := range dict {
 			l, err := binary.ReadUvarint(buf)
 			if err != nil {
-				return nil, err
+				return cd, err
 			}
 			if l > uint64(buf.Len()) {
-				return nil, fmt.Errorf("dictionary entry length %d exceeds payload", l)
+				return cd, fmt.Errorf("dictionary entry length %d exceeds payload", l)
 			}
 			b := make([]byte, l)
 			if _, err := io.ReadFull(buf, b); err != nil {
-				return nil, err
+				return cd, err
 			}
 			dict[i] = string(b)
 		}
-		out := make([]string, n)
+		out := make([]uint32, n)
 		for i := 0; i < n; i++ {
 			id, err := binary.ReadUvarint(buf)
 			if err != nil {
-				return nil, err
+				return cd, err
 			}
-			if id >= dictN {
-				return nil, fmt.Errorf("dict id %d out of range %d", id, dictN)
+			if id >= dictN || id > math.MaxUint32 {
+				return cd, fmt.Errorf("dict id %d out of range %d", id, dictN)
 			}
-			out[i] = dict[id]
+			out[i] = uint32(id)
 		}
-		return out, nil
+		cd.StrIDs = out
+		cd.Dict = dict
+		return cd, nil
+	default:
+		return cd, fmt.Errorf("unknown type %v", s.Type)
 	}
-	return nil, fmt.Errorf("unknown type %v", s.Type)
 }
 
-// NextChunk decodes the next chunk fully. io.EOF signals end of stream.
-func (r *Reader) NextChunk() (*telemetry.Table, ChunkStats, error) {
-	stats, body, err := r.PeekStats()
-	if err != nil {
-		return nil, nil, err
+// Strings materializes a dictionary-form string column.
+func (cd ColData) Strings() []string {
+	out := make([]string, len(cd.StrIDs))
+	for i, id := range cd.StrIDs {
+		out[i] = cd.Dict[id]
 	}
-	t, err := r.DecodeChunk(body)
-	return t, stats, err
+	return out
+}
+
+// chunkBodyTable decodes a full chunk body into a table (all columns).
+func chunkBodyTable(schema []telemetry.ColSpec, body []byte) (*telemetry.Table, error) {
+	_, cols, err := decodeChunkBody(schema, body, nil)
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]interface{}, len(schema))
+	for ci, s := range schema {
+		switch s.Type {
+		case telemetry.Int64:
+			raw[ci] = cols[ci].Ints
+		case telemetry.Float64:
+			raw[ci] = cols[ci].Floats
+		case telemetry.String:
+			raw[ci] = cols[ci].Strings()
+		default:
+			return nil, fmt.Errorf("colfile: unknown column type %v", s.Type)
+		}
+	}
+	t, err := telemetry.FromColumns(schema, raw)
+	if err != nil {
+		return nil, fmt.Errorf("colfile: %w", err)
+	}
+	return t, nil
+}
+
+// decodeChunkBody walks a chunk body and decodes the selected columns
+// (want == nil decodes all). The returned slice is indexed by schema column
+// index; unselected columns are zero ColData.
+func decodeChunkBody(schema []telemetry.ColSpec, body []byte, want []bool) (int, []ColData, error) {
+	buf := bytes.NewReader(body)
+	var nrows uint32
+	if err := binary.Read(buf, binary.LittleEndian, &nrows); err != nil {
+		return 0, nil, err
+	}
+	n := int(nrows)
+	if len(schema) == 0 && n > 0 {
+		return 0, nil, fmt.Errorf("colfile: %d rows in a zero-column chunk", n)
+	}
+	cols := make([]ColData, len(schema))
+	for ci, s := range schema {
+		flag, err := buf.ReadByte()
+		if err != nil {
+			return 0, nil, err
+		}
+		if flag == 1 {
+			if _, err := buf.Seek(16, io.SeekCurrent); err != nil {
+				return 0, nil, err
+			}
+		}
+		var plen uint32
+		if err := binary.Read(buf, binary.LittleEndian, &plen); err != nil {
+			return 0, nil, err
+		}
+		if int64(plen) > int64(buf.Len()) {
+			return 0, nil, fmt.Errorf("colfile: column %q payload length %d exceeds chunk body", s.Name, plen)
+		}
+		if want != nil && !want[ci] {
+			if _, err := buf.Seek(int64(plen), io.SeekCurrent); err != nil {
+				return 0, nil, err
+			}
+			continue
+		}
+		start := len(body) - buf.Len()
+		payload := body[start : start+int(plen)]
+		if _, err := buf.Seek(int64(plen), io.SeekCurrent); err != nil {
+			return 0, nil, err
+		}
+		cd, err := decodeColumnData(s, payload, n)
+		if err != nil {
+			return 0, nil, fmt.Errorf("colfile: column %q: %w", s.Name, err)
+		}
+		cols[ci] = cd
+	}
+	return n, cols, nil
+}
+
+// parseChunkStatsHeader reads the inline per-column stats and row count of
+// a chunk body without touching payloads.
+func parseChunkStatsHeader(schema []telemetry.ColSpec, body []byte) (int, []Stats, error) {
+	buf := bytes.NewReader(body)
+	var nrows uint32
+	if err := binary.Read(buf, binary.LittleEndian, &nrows); err != nil {
+		return 0, nil, err
+	}
+	stats := make([]Stats, len(schema))
+	for ci := range schema {
+		flag, err := buf.ReadByte()
+		if err != nil {
+			return 0, nil, err
+		}
+		var st Stats
+		if flag == 1 {
+			if err := binary.Read(buf, binary.LittleEndian, &st.Min); err != nil {
+				return 0, nil, err
+			}
+			if err := binary.Read(buf, binary.LittleEndian, &st.Max); err != nil {
+				return 0, nil, err
+			}
+			st.Valid = true
+		}
+		stats[ci] = st
+		var plen uint32
+		if err := binary.Read(buf, binary.LittleEndian, &plen); err != nil {
+			return 0, nil, err
+		}
+		if _, err := buf.Seek(int64(plen), io.SeekCurrent); err != nil {
+			return 0, nil, err
+		}
+	}
+	return int(nrows), stats, nil
+}
+
+// parseHeader reads the file header from r, returning version, schema, and
+// the header's byte length.
+func parseHeader(r io.Reader) (byte, []telemetry.ColSpec, int64, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return 0, nil, 0, fmt.Errorf("colfile: reading magic: %w", err)
+	}
+	if m != magic {
+		return 0, nil, 0, fmt.Errorf("colfile: bad magic")
+	}
+	var verByte [1]byte
+	if _, err := io.ReadFull(r, verByte[:]); err != nil {
+		return 0, nil, 0, err
+	}
+	ver := verByte[0]
+	if ver != version1 && ver != version2 {
+		return 0, nil, 0, fmt.Errorf("colfile: unsupported version %d", ver)
+	}
+	var ncols uint16
+	if err := binary.Read(r, binary.LittleEndian, &ncols); err != nil {
+		return 0, nil, 0, err
+	}
+	hlen := int64(4 + 1 + 2)
+	schema := make([]telemetry.ColSpec, ncols)
+	seen := make(map[string]bool, ncols)
+	for i := range schema {
+		var nameLen uint16
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return 0, nil, 0, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return 0, nil, 0, err
+		}
+		var typByte [1]byte
+		if _, err := io.ReadFull(r, typByte[:]); err != nil {
+			return 0, nil, 0, err
+		}
+		if typByte[0] > byte(telemetry.String) {
+			return 0, nil, 0, fmt.Errorf("colfile: invalid column type %d", typByte[0])
+		}
+		if seen[string(name)] {
+			return 0, nil, 0, fmt.Errorf("colfile: duplicate column %q in header", name)
+		}
+		seen[string(name)] = true
+		schema[i] = telemetry.ColSpec{Name: string(name), Type: telemetry.ColType(typByte[0])}
+		hlen += int64(2 + len(name) + 1)
+	}
+	return ver, schema, hlen, nil
 }
 
 // WriteTable writes t to w in chunks of chunkRows rows (0 = one chunk).
@@ -460,7 +623,7 @@ func WriteTable(w io.Writer, t *telemetry.Table, chunkRows int) error {
 		if err := cw.WriteChunk(t); err != nil {
 			return err
 		}
-		return cw.Flush()
+		return cw.Finalize()
 	}
 	for lo := 0; lo < n; lo += chunkRows {
 		hi := lo + chunkRows
@@ -475,74 +638,5 @@ func WriteTable(w io.Writer, t *telemetry.Table, chunkRows int) error {
 			return err
 		}
 	}
-	return cw.Flush()
-}
-
-// ReadAll reads every chunk of the stream into one table.
-func ReadAll(r io.Reader) (*telemetry.Table, error) {
-	cr, err := NewReader(r)
-	if err != nil {
-		return nil, err
-	}
-	out := telemetry.NewTable(cr.Schema()...)
-	for {
-		chunk, _, err := cr.NextChunk()
-		if errors.Is(err, io.EOF) {
-			return out, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		for row := 0; row < chunk.NumRows(); row++ {
-			out.AppendFrom(chunk, row)
-		}
-	}
-}
-
-// ReadWhere reads only chunks whose embedded statistics for column col
-// intersect [lo, hi]; non-matching chunks are skipped without decoding.
-// Rows inside matching chunks are then filtered exactly. This is the
-// "efficient querying via embedded statistics over partitioned data" path
-// of the paper's Lesson 4.
-func ReadWhere(r io.Reader, col string, lo, hi float64) (*telemetry.Table, int, error) {
-	cr, err := NewReader(r)
-	if err != nil {
-		return nil, 0, err
-	}
-	found := false
-	for _, s := range cr.Schema() {
-		if s.Name == col {
-			if s.Type == telemetry.String {
-				return nil, 0, fmt.Errorf("colfile: range predicate on string column %q", col)
-			}
-			found = true
-		}
-	}
-	if !found {
-		return nil, 0, fmt.Errorf("colfile: no column %q", col)
-	}
-	out := telemetry.NewTable(cr.Schema()...)
-	skipped := 0
-	for {
-		stats, body, err := cr.PeekStats()
-		if errors.Is(err, io.EOF) {
-			return out, skipped, nil
-		}
-		if err != nil {
-			return nil, skipped, err
-		}
-		if st := stats[col]; st.Valid && (st.Max < lo || st.Min > hi) {
-			skipped++
-			continue // chunk cannot contain matching rows
-		}
-		chunk, err := cr.DecodeChunk(body)
-		if err != nil {
-			return nil, skipped, err
-		}
-		for row := 0; row < chunk.NumRows(); row++ {
-			if v := chunk.NumericAt(col, row); v >= lo && v <= hi {
-				out.AppendFrom(chunk, row)
-			}
-		}
-	}
+	return cw.Finalize()
 }

@@ -7,10 +7,11 @@ import (
 	"amrtools/internal/telemetry"
 )
 
-// FuzzReadAll asserts the reader never panics on arbitrary bytes: corrupt
-// or truncated files must surface as errors. Seeds include a valid file so
-// the fuzzer explores meaningful mutations of real structure.
-func FuzzReadAll(f *testing.F) {
+// fuzzSeeds returns encoded files covering both format versions: a valid
+// version-2 file (with footer index), a version-2 multi-chunk file, and
+// corruption-shaped fragments. Mutations of real structure explore the
+// footer parser, sentinel handling, and chunk codec together.
+func fuzzSeeds(f *testing.F) [][]byte {
 	valid := telemetry.NewTable(
 		telemetry.IntCol("step"), telemetry.FloatCol("v"), telemetry.StrCol("s"))
 	valid.Append(1, 2.5, "a")
@@ -19,13 +20,61 @@ func FuzzReadAll(f *testing.F) {
 	if err := WriteTable(&buf, valid, 1); err != nil {
 		f.Fatal(err)
 	}
-	f.Add(buf.Bytes())
-	f.Add([]byte{})
-	f.Add([]byte("AMRC"))
-	f.Add([]byte("AMRC\x01\x00\x00"))
-	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	multi := telemetry.NewTable(telemetry.IntCol("step"), telemetry.FloatCol("v"))
+	for i := 0; i < 40; i++ {
+		multi.Append(i, float64(i)*0.25)
+	}
+	var mbuf bytes.Buffer
+	if err := WriteTable(&mbuf, multi, 8); err != nil {
+		f.Fatal(err)
+	}
+	seeds := [][]byte{
+		buf.Bytes(),
+		mbuf.Bytes(),
+		{},
+		[]byte("AMRC"),
+		[]byte("AMRC\x01\x00\x00"),
+		[]byte("AMRC\x02\x00\x00"),
+		bytes.Repeat([]byte{0xff}, 64),
+	}
+	// A version-2 file with its footer truncated mid-index.
+	if n := mbuf.Len(); n > 20 {
+		seeds = append(seeds, mbuf.Bytes()[:n-7])
+	}
+	return seeds
+}
+
+// FuzzReadAll asserts the streaming reader never panics on arbitrary
+// bytes: corrupt or truncated files must surface as errors.
+func FuzzReadAll(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = ReadAll(bytes.NewReader(data))
 		_, _, _ = ReadWhere(bytes.NewReader(data), "step", 0, 10)
+	})
+}
+
+// FuzzOpen asserts the seekable reader — footer index parse included —
+// never panics, and that any index it does accept is safe to decode.
+func FuzzOpen(f *testing.F) {
+	for _, s := range fuzzSeeds(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := OpenBytes(data)
+		if err != nil {
+			return
+		}
+		// An accepted index must be fully traversable without panics.
+		_, _ = r.Table()
+		for i := 0; i < r.NumChunks(); i++ {
+			want := make([]bool, len(r.Schema()))
+			if len(want) > 0 {
+				want[0] = true
+			}
+			_, _, _ = r.DecodeColumns(i, want)
+		}
 	})
 }

@@ -1,0 +1,306 @@
+package colfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"amrtools/internal/telemetry"
+)
+
+// Reader is a random-access colfile reader over an io.ReaderAt. For
+// version-2 files it parses the footer block index — chunk offsets, row
+// counts, checksums, and zone maps — so queries seek straight to matching
+// chunks (or skip payloads entirely for metadata-only aggregates). For
+// version-1 files it rebuilds an equivalent index with one scan pass over
+// the chunk headers: min/max zone maps come from the inline stats, sums
+// and checksums are unavailable.
+//
+// A Reader is safe for concurrent use: the index is immutable after Open,
+// chunk reads go through io.ReaderAt, and the decode counter is atomic.
+// This is the concurrency-safe substrate the amrd query server builds on.
+type Reader struct {
+	ra      io.ReaderAt
+	size    int64
+	version byte
+	schema  []telemetry.ColSpec
+	chunks  []ChunkMeta
+	rows    int64
+	decodes atomic.Int64
+}
+
+// Open parses the header and block index of the file behind ra.
+func Open(ra io.ReaderAt, size int64) (*Reader, error) {
+	hr := io.NewSectionReader(ra, 0, size)
+	ver, schema, hlen, err := parseHeader(hr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{ra: ra, size: size, version: ver, schema: schema}
+	if ver == version2 {
+		err = r.loadFooter(hlen)
+	} else {
+		err = r.scanV1(hlen)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range r.chunks {
+		r.rows += int64(m.Rows)
+	}
+	return r, nil
+}
+
+// OpenFile opens a Reader over an *os.File, taking the size from Stat.
+func OpenFile(f *os.File) (*Reader, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return Open(f, st.Size())
+}
+
+// OpenBytes opens a Reader over an in-memory encoded file.
+func OpenBytes(data []byte) (*Reader, error) {
+	return Open(bytes.NewReader(data), int64(len(data)))
+}
+
+// loadFooter parses the version-2 footer block index and validates it
+// against the file geometry and its own checksum.
+func (r *Reader) loadFooter(hlen int64) error {
+	if r.size < hlen+4+trailerLen {
+		return fmt.Errorf("colfile: file too short for a version-2 footer (%d bytes)", r.size)
+	}
+	var trailer [trailerLen]byte
+	if _, err := r.ra.ReadAt(trailer[:], r.size-trailerLen); err != nil {
+		return fmt.Errorf("colfile: reading footer trailer: %w", err)
+	}
+	if !bytes.Equal(trailer[8:12], footerMagic[:]) {
+		return fmt.Errorf("colfile: bad footer magic %q", trailer[8:12])
+	}
+	footLen := int64(binary.LittleEndian.Uint32(trailer[0:4]))
+	wantCRC := binary.LittleEndian.Uint32(trailer[4:8])
+	footStart := r.size - trailerLen - footLen
+	if footStart < hlen+4 {
+		return fmt.Errorf("colfile: footer length %d exceeds file", footLen)
+	}
+	foot := make([]byte, footLen)
+	if _, err := r.ra.ReadAt(foot, footStart); err != nil {
+		return fmt.Errorf("colfile: reading footer: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(foot); got != wantCRC {
+		return fmt.Errorf("colfile: footer checksum mismatch: %08x != %08x", got, wantCRC)
+	}
+	// The sentinel sits where a chunk length prefix would, immediately
+	// before the footer body.
+	var sent [4]byte
+	if _, err := r.ra.ReadAt(sent[:], footStart-4); err != nil {
+		return fmt.Errorf("colfile: reading footer sentinel: %w", err)
+	}
+	if binary.LittleEndian.Uint32(sent[:]) != footerSentinel {
+		return fmt.Errorf("colfile: missing footer sentinel")
+	}
+	chunkRegionEnd := footStart - 4
+
+	buf := bytes.NewReader(foot)
+	var nchunks uint32
+	if err := binary.Read(buf, binary.LittleEndian, &nchunks); err != nil {
+		return fmt.Errorf("colfile: footer: %w", err)
+	}
+	// Each index entry costs at least 20 bytes + 1 flag byte per column.
+	minEntry := uint64(20 + len(r.schema))
+	if uint64(nchunks)*minEntry > uint64(buf.Len()) {
+		return fmt.Errorf("colfile: footer chunk count %d exceeds footer size", nchunks)
+	}
+	chunks := make([]ChunkMeta, 0, nchunks)
+	for i := uint32(0); i < nchunks; i++ {
+		var m ChunkMeta
+		var off uint64
+		var rows uint32
+		if err := binary.Read(buf, binary.LittleEndian, &off); err != nil {
+			return fmt.Errorf("colfile: footer entry %d: %w", i, err)
+		}
+		if err := binary.Read(buf, binary.LittleEndian, &m.Length); err != nil {
+			return fmt.Errorf("colfile: footer entry %d: %w", i, err)
+		}
+		if err := binary.Read(buf, binary.LittleEndian, &rows); err != nil {
+			return fmt.Errorf("colfile: footer entry %d: %w", i, err)
+		}
+		if err := binary.Read(buf, binary.LittleEndian, &m.CRC); err != nil {
+			return fmt.Errorf("colfile: footer entry %d: %w", i, err)
+		}
+		m.Offset = int64(off)
+		m.Rows = int(rows)
+		m.HasCRC = true
+		if m.Offset < 0 || m.Offset+4+int64(m.Length) > chunkRegionEnd {
+			return fmt.Errorf("colfile: footer entry %d: chunk [%d,+%d] outside chunk region [0,%d)",
+				i, m.Offset, m.Length, chunkRegionEnd)
+		}
+		m.Zones = make([]ZoneMap, len(r.schema))
+		for ci := range r.schema {
+			flag, err := buf.ReadByte()
+			if err != nil {
+				return fmt.Errorf("colfile: footer entry %d: %w", i, err)
+			}
+			z := &m.Zones[ci]
+			if flag&zoneHasRange != 0 {
+				if err := binary.Read(buf, binary.LittleEndian, &z.Min); err != nil {
+					return fmt.Errorf("colfile: footer entry %d: %w", i, err)
+				}
+				if err := binary.Read(buf, binary.LittleEndian, &z.Max); err != nil {
+					return fmt.Errorf("colfile: footer entry %d: %w", i, err)
+				}
+				z.HasRange = true
+			}
+			if flag&zoneHasSum != 0 {
+				var cnt uint64
+				if err := binary.Read(buf, binary.LittleEndian, &z.Sum); err != nil {
+					return fmt.Errorf("colfile: footer entry %d: %w", i, err)
+				}
+				if err := binary.Read(buf, binary.LittleEndian, &cnt); err != nil {
+					return fmt.Errorf("colfile: footer entry %d: %w", i, err)
+				}
+				z.Count = int64(cnt)
+				z.HasSum = true
+			}
+		}
+		chunks = append(chunks, m)
+	}
+	if buf.Len() != 0 {
+		return fmt.Errorf("colfile: %d trailing bytes after footer index", buf.Len())
+	}
+	r.chunks = chunks
+	return nil
+}
+
+// scanV1 rebuilds a block index for a version-1 file by scanning chunk
+// headers: offsets and row counts are exact, zone maps carry the inline
+// min/max only (no sums), and there are no checksums to verify.
+func (r *Reader) scanV1(hlen int64) error {
+	off := hlen
+	for off < r.size {
+		var lenBuf [4]byte
+		if _, err := r.ra.ReadAt(lenBuf[:], off); err != nil {
+			return fmt.Errorf("colfile: chunk length at %d: %w", off, err)
+		}
+		chunkLen := int64(binary.LittleEndian.Uint32(lenBuf[:]))
+		if off+4+chunkLen > r.size {
+			return fmt.Errorf("colfile: truncated chunk (%d of %d bytes)", r.size-off-4, chunkLen)
+		}
+		body := make([]byte, chunkLen)
+		if _, err := r.ra.ReadAt(body, off+4); err != nil {
+			return err
+		}
+		rows, stats, err := parseChunkStatsHeader(r.schema, body)
+		if err != nil {
+			return err
+		}
+		zones := make([]ZoneMap, len(r.schema))
+		for ci := range r.schema {
+			if stats[ci].Valid {
+				zones[ci] = ZoneMap{Min: stats[ci].Min, Max: stats[ci].Max, HasRange: true}
+			}
+			zones[ci].Count = int64(rows)
+		}
+		r.chunks = append(r.chunks, ChunkMeta{
+			Offset: off,
+			Length: uint32(chunkLen),
+			Rows:   rows,
+			Zones:  zones,
+		})
+		off += 4 + chunkLen
+	}
+	return nil
+}
+
+// Schema returns the file's column specs (read-only).
+func (r *Reader) Schema() []telemetry.ColSpec { return r.schema }
+
+// Version returns the file format version (1 or 2).
+func (r *Reader) Version() int { return int(r.version) }
+
+// NumChunks returns the number of chunks in the block index.
+func (r *Reader) NumChunks() int { return len(r.chunks) }
+
+// NumRows returns the total row count across all chunks, from metadata
+// alone (no payload is read).
+func (r *Reader) NumRows() int64 { return r.rows }
+
+// Meta returns the block-index entry for chunk i (read-only).
+func (r *Reader) Meta(i int) ChunkMeta { return r.chunks[i] }
+
+// ColIndex returns the schema index of the named column, or -1.
+func (r *Reader) ColIndex(name string) int {
+	for i, s := range r.schema {
+		if s.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// DecodeCount returns the number of chunk-payload decode operations
+// performed so far — the observable that proves a query was answered from
+// metadata alone (zero) or how many chunks pushdown actually touched.
+func (r *Reader) DecodeCount() int64 { return r.decodes.Load() }
+
+// chunkBody reads and checksum-verifies the raw body of chunk i.
+func (r *Reader) chunkBody(i int) ([]byte, error) {
+	m := r.chunks[i]
+	body := make([]byte, m.Length)
+	if _, err := r.ra.ReadAt(body, m.Offset+4); err != nil {
+		return nil, fmt.Errorf("colfile: chunk %d: %w", i, err)
+	}
+	if m.HasCRC {
+		if got := crc32.ChecksumIEEE(body); got != m.CRC {
+			return nil, fmt.Errorf("colfile: chunk %d checksum mismatch: %08x != %08x", i, got, m.CRC)
+		}
+	}
+	return body, nil
+}
+
+// DecodeChunk materializes chunk i as a table (all columns).
+func (r *Reader) DecodeChunk(i int) (*telemetry.Table, error) {
+	body, err := r.chunkBody(i)
+	if err != nil {
+		return nil, err
+	}
+	r.decodes.Add(1)
+	return chunkBodyTable(r.schema, body)
+}
+
+// DecodeColumns decodes only the selected schema column indices of chunk i
+// (projection pushdown): unselected payloads are skipped, not parsed. The
+// returned slice is indexed by schema column index; unselected entries are
+// zero. The second result is the chunk's row count.
+func (r *Reader) DecodeColumns(i int, want []bool) ([]ColData, int, error) {
+	body, err := r.chunkBody(i)
+	if err != nil {
+		return nil, 0, err
+	}
+	r.decodes.Add(1)
+	n, cols, err := decodeChunkBody(r.schema, body, want)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cols, n, nil
+}
+
+// Table materializes the whole file as one table.
+func (r *Reader) Table() (*telemetry.Table, error) {
+	out := telemetry.NewTable(r.schema...)
+	for i := range r.chunks {
+		chunk, err := r.DecodeChunk(i)
+		if err != nil {
+			return nil, err
+		}
+		for row := 0; row < chunk.NumRows(); row++ {
+			out.AppendFrom(chunk, row)
+		}
+	}
+	return out, nil
+}

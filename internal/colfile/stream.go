@@ -1,0 +1,186 @@
+package colfile
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"amrtools/internal/telemetry"
+)
+
+// StreamReader decodes a colfile stream chunk by chunk, for both version-1
+// files and version-2 files (whose trailing footer it skips). Use Open for
+// random access and zone-map queries; the streaming path is the fallback
+// when only an io.Reader exists (pipes, network streams).
+type StreamReader struct {
+	r       *bufio.Reader
+	schema  []telemetry.ColSpec
+	version byte
+}
+
+// NewReader parses the header and returns a streaming chunk reader.
+func NewReader(r io.Reader) (*StreamReader, error) {
+	br := bufio.NewReader(r)
+	ver, schema, _, err := parseHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamReader{r: br, schema: schema, version: ver}, nil
+}
+
+// Schema returns the file's column specs.
+func (r *StreamReader) Schema() []telemetry.ColSpec { return r.schema }
+
+// Version returns the file format version (1 or 2).
+func (r *StreamReader) Version() int { return int(r.version) }
+
+// PeekStats reads the next chunk's statistics and raw body without decoding
+// payloads. It returns io.EOF cleanly at end of stream (for version 2, when
+// the footer sentinel is reached; the footer itself is consumed and
+// discarded). Use DecodeChunk on the returned body to materialize rows, or
+// discard it to skip the chunk — this is the predicate-pushdown path for
+// non-seekable inputs.
+func (r *StreamReader) PeekStats() (ChunkStats, []byte, error) {
+	var chunkLen uint32
+	if err := binary.Read(r.r, binary.LittleEndian, &chunkLen); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, nil, io.EOF
+		}
+		return nil, nil, err
+	}
+	if chunkLen == footerSentinel {
+		// Version-2 footer: the block index is only useful to seeking
+		// readers, but its trailer is still validated so truncation and
+		// corruption are detected even on the streaming path.
+		rest, err := io.ReadAll(r.r)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rest) < trailerLen {
+			return nil, nil, fmt.Errorf("colfile: truncated footer (%d bytes)", len(rest))
+		}
+		tr := rest[len(rest)-trailerLen:]
+		if !bytes.Equal(tr[8:12], footerMagic[:]) {
+			return nil, nil, fmt.Errorf("colfile: bad footer magic %q", tr[8:12])
+		}
+		footLen := int(binary.LittleEndian.Uint32(tr[0:4]))
+		if footLen+trailerLen != len(rest) {
+			return nil, nil, fmt.Errorf("colfile: footer length %d does not match %d trailing bytes",
+				footLen, len(rest)-trailerLen)
+		}
+		wantCRC := binary.LittleEndian.Uint32(tr[4:8])
+		if got := crc32.ChecksumIEEE(rest[:footLen]); got != wantCRC {
+			return nil, nil, fmt.Errorf("colfile: footer checksum mismatch: %08x != %08x", got, wantCRC)
+		}
+		return nil, nil, io.EOF
+	}
+	// Read incrementally rather than pre-allocating chunkLen bytes: a
+	// corrupt length field must fail on truncation, not exhaust memory.
+	var bodyBuf bytes.Buffer
+	if n, err := io.CopyN(&bodyBuf, r.r, int64(chunkLen)); err != nil {
+		if errors.Is(err, io.EOF) {
+			// A short chunk body is corruption, not a clean end of stream.
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, nil, fmt.Errorf("colfile: truncated chunk (%d of %d bytes): %w", n, chunkLen, err)
+	}
+	body := bodyBuf.Bytes()
+	_, perCol, err := parseChunkStatsHeader(r.schema, body)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := make(ChunkStats, len(r.schema))
+	for ci, s := range r.schema {
+		stats[s.Name] = perCol[ci]
+	}
+	return stats, body, nil
+}
+
+// DecodeChunk materializes a chunk body (from PeekStats) as a table.
+func (r *StreamReader) DecodeChunk(body []byte) (*telemetry.Table, error) {
+	return chunkBodyTable(r.schema, body)
+}
+
+// NextChunk decodes the next chunk fully. io.EOF signals end of stream.
+func (r *StreamReader) NextChunk() (*telemetry.Table, ChunkStats, error) {
+	stats, body, err := r.PeekStats()
+	if err != nil {
+		return nil, nil, err
+	}
+	t, err := r.DecodeChunk(body)
+	return t, stats, err
+}
+
+// ReadAll reads every chunk of the stream into one table.
+func ReadAll(r io.Reader) (*telemetry.Table, error) {
+	cr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	out := telemetry.NewTable(cr.Schema()...)
+	for {
+		chunk, _, err := cr.NextChunk()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		for row := 0; row < chunk.NumRows(); row++ {
+			out.AppendFrom(chunk, row)
+		}
+	}
+}
+
+// ReadWhere reads only chunks whose embedded statistics for column col
+// intersect [lo, hi]; non-matching chunks are skipped without decoding.
+// Rows inside matching chunks are then filtered exactly. This is the
+// "efficient querying via embedded statistics over partitioned data" path
+// of the paper's Lesson 4; tql.ExecFile generalizes it to arbitrary WHERE
+// clauses when the input is seekable.
+func ReadWhere(r io.Reader, col string, lo, hi float64) (*telemetry.Table, int, error) {
+	cr, err := NewReader(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	found := false
+	for _, s := range cr.Schema() {
+		if s.Name == col {
+			if s.Type == telemetry.String {
+				return nil, 0, fmt.Errorf("colfile: range predicate on string column %q", col)
+			}
+			found = true
+		}
+	}
+	if !found {
+		return nil, 0, fmt.Errorf("colfile: no column %q", col)
+	}
+	out := telemetry.NewTable(cr.Schema()...)
+	skipped := 0
+	for {
+		stats, body, err := cr.PeekStats()
+		if errors.Is(err, io.EOF) {
+			return out, skipped, nil
+		}
+		if err != nil {
+			return nil, skipped, err
+		}
+		if st := stats[col]; st.Valid && (st.Max < lo || st.Min > hi) {
+			skipped++
+			continue // chunk cannot contain matching rows
+		}
+		chunk, err := cr.DecodeChunk(body)
+		if err != nil {
+			return nil, skipped, err
+		}
+		for row := 0; row < chunk.NumRows(); row++ {
+			if v := chunk.NumericAt(col, row); v >= lo && v <= hi {
+				out.AppendFrom(chunk, row)
+			}
+		}
+	}
+}

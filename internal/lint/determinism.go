@@ -32,6 +32,11 @@ var DefaultCorePackages = []string{
 	// documented pattern for non-deterministic code inside a core package
 	// (DESIGN.md §11).
 	"amrtools/internal/metrics",
+	// The storage and query layer is core: the same file queried twice (or
+	// on two machines) must return bit-identical tables, and the v2 footer
+	// index must encode identically for identical input.
+	"amrtools/internal/colfile",
+	"amrtools/internal/tql",
 }
 
 // wallClockFuncs are the time-package functions that read or depend on the

@@ -128,6 +128,90 @@ func NewTable(schema ...ColSpec) *Table {
 	return t
 }
 
+// FromColumns builds a table directly from typed column slices, one per
+// spec: []int64 for Int64, []float64 for Float64, []string for String. All
+// slices must have equal length. Unlike row-wise Append, no per-cell
+// interface boxing happens — this is the fast path decoders use.
+// Int64/Float64 slices are adopted, not copied: the caller must not modify
+// them afterwards.
+func FromColumns(specs []ColSpec, cols []interface{}) (*Table, error) {
+	if len(specs) != len(cols) {
+		return nil, fmt.Errorf("telemetry: FromColumns: %d specs, %d columns", len(specs), len(cols))
+	}
+	t := NewTable(specs...)
+	rows := -1
+	for i, s := range specs {
+		c := t.cols[i]
+		var n int
+		switch s.Type {
+		case Int64:
+			xs, ok := cols[i].([]int64)
+			if !ok {
+				return nil, fmt.Errorf("telemetry: FromColumns: column %q wants []int64, got %T", s.Name, cols[i])
+			}
+			c.ints = xs
+			n = len(xs)
+		case Float64:
+			xs, ok := cols[i].([]float64)
+			if !ok {
+				return nil, fmt.Errorf("telemetry: FromColumns: column %q wants []float64, got %T", s.Name, cols[i])
+			}
+			c.floats = xs
+			n = len(xs)
+		case String:
+			xs, ok := cols[i].([]string)
+			if !ok {
+				return nil, fmt.Errorf("telemetry: FromColumns: column %q wants []string, got %T", s.Name, cols[i])
+			}
+			c.strs = make([]uint32, len(xs))
+			for r, v := range xs {
+				id, seen := c.dictID[v]
+				if !seen {
+					id = uint32(len(c.dict))
+					c.dict = append(c.dict, v)
+					c.dictID[v] = id
+				}
+				c.strs[r] = id
+			}
+			n = len(xs)
+		default:
+			return nil, fmt.Errorf("telemetry: FromColumns: unknown column type %v", s.Type)
+		}
+		if rows >= 0 && n != rows {
+			return nil, fmt.Errorf("telemetry: FromColumns: column %q has %d rows, want %d", s.Name, n, rows)
+		}
+		rows = n
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	t.rows = rows
+	return t, nil
+}
+
+// Renamed returns a table with the same data and new column names, sharing
+// the underlying column storage with t (no row copies). names must match
+// the column count positionally. The returned table is a read-only view:
+// appending to it (or to t afterwards) is not supported, matching the
+// query-result use where relabeled tables are terminal.
+func (t *Table) Renamed(names ...string) *Table {
+	if len(names) != len(t.cols) {
+		panic(fmt.Sprintf("telemetry: Renamed with %d names, schema has %d columns", len(names), len(t.cols)))
+	}
+	out := &Table{byName: make(map[string]int, len(t.cols)), rows: t.rows}
+	for i, c := range t.cols {
+		if _, dup := out.byName[names[i]]; dup {
+			panic("telemetry: duplicate column " + names[i])
+		}
+		nc := &column{spec: ColSpec{Name: names[i], Type: c.spec.Type}}
+		nc.ints, nc.floats, nc.strs = c.ints, c.floats, c.strs
+		nc.dict, nc.dictID = c.dict, c.dictID
+		out.byName[names[i]] = len(out.cols)
+		out.cols = append(out.cols, nc)
+	}
+	return out
+}
+
 // Schema returns the column specs in order.
 func (t *Table) Schema() []ColSpec {
 	out := make([]ColSpec, len(t.cols))

@@ -21,23 +21,35 @@ func Run(query string, tables map[string]*telemetry.Table) (*telemetry.Table, er
 
 // Exec executes a parsed query against one table.
 func Exec(q *Query, t *telemetry.Table) (*telemetry.Table, error) {
-	// 1. WHERE.
+	// 1. WHERE. The first evaluation error (in row order) fails the whole
+	// query; rows with errors must not be silently dropped.
 	cur := t
 	if q.Where != nil {
-		// Probe row 0 (if any) so schema errors surface as errors rather
-		// than panics inside Filter.
-		if t.NumRows() > 0 {
-			if _, err := asBool(q.Where, t, 0); err != nil {
-				return nil, err
-			}
-		}
 		src := cur
+		var ferr error
 		cur = src.Filter(func(row int) bool {
+			if ferr != nil {
+				return false
+			}
 			ok, err := asBool(q.Where, src, row)
-			return err == nil && ok
+			if err != nil {
+				ferr = err
+				return false
+			}
+			return ok
 		})
+		if ferr != nil {
+			return nil, ferr
+		}
 	}
+	return execAfterWhere(q, cur)
+}
 
+// execAfterWhere runs the post-filter stages of a query — projection or
+// aggregation, then ORDER BY and LIMIT — on an already-filtered table. Both
+// the in-memory path (Exec) and the pushdown path (ExecFile) funnel through
+// this, which is what keeps their results bit-identical.
+func execAfterWhere(q *Query, cur *telemetry.Table) (*telemetry.Table, error) {
 	// 2. Projection / aggregation.
 	hasAgg := false
 	for _, s := range q.Select {
@@ -69,7 +81,11 @@ func Exec(q *Query, t *telemetry.Table) (*telemetry.Table, error) {
 		cur = cur.Select(names...)
 		cur = rename(cur, aliases)
 	}
+	return applyOrderLimit(q, cur)
+}
 
+// applyOrderLimit runs the ORDER BY and LIMIT stages.
+func applyOrderLimit(q *Query, cur *telemetry.Table) (*telemetry.Table, error) {
 	// 3. ORDER BY.
 	for i := len(q.OrderBy) - 1; i >= 0; i-- { // stable multi-key sort
 		o := q.OrderBy[i]
@@ -136,27 +152,20 @@ func execAggregate(q *Query, t *telemetry.Table) (*telemetry.Table, error) {
 	return rename(g.Select(names...), aliases), nil
 }
 
-// rename returns a table with the same data and new column names.
+// rename returns a table with the same data and new column names. The
+// result shares column storage with t (a relabel is O(columns), not
+// O(rows)); query results are terminal, so the view restriction of
+// telemetry.Renamed is safe here.
 func rename(t *telemetry.Table, names []string) *telemetry.Table {
 	schema := t.Schema()
 	changed := false
 	for i := range schema {
 		if schema[i].Name != names[i] {
-			schema[i].Name = names[i]
 			changed = true
 		}
 	}
 	if !changed {
 		return t
 	}
-	out := telemetry.NewTable(schema...)
-	old := t.Schema()
-	vals := make([]interface{}, len(schema))
-	for r := 0; r < t.NumRows(); r++ {
-		for i := range schema {
-			vals[i] = t.ValueAt(old[i].Name, r)
-		}
-		out.Append(vals...)
-	}
-	return out
+	return t.Renamed(names...)
 }

@@ -1,0 +1,413 @@
+package tql
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"amrtools/internal/colfile"
+	"amrtools/internal/telemetry"
+)
+
+// TestWhereErrorSurfaced is the regression test for the error-swallowing
+// Filter bug: rows whose WHERE evaluation errors were silently dropped
+// instead of failing the query. Row 0 evaluates cleanly (so the old row-0
+// probe did not catch it); row 1 (wait = 2) divides by zero.
+func TestWhereErrorSurfaced(t *testing.T) {
+	_, err := Run("SELECT * FROM t WHERE 1 / (wait - 2) > 0",
+		map[string]*telemetry.Table{"t": testTable()})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v, want division by zero", err)
+	}
+}
+
+// TestWhereErrorShortCircuitStillSafe pins the other half of the contract:
+// a fallible subexpression guarded by short-circuit evaluation must NOT
+// error when the guard rules out the poisonous rows.
+func TestWhereErrorShortCircuitStillSafe(t *testing.T) {
+	out, err := Run("SELECT * FROM t WHERE wait != 2 AND 1 / (wait - 2) > 0",
+		map[string]*telemetry.Table{"t": testTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 4 { // wait > 2: 4, 8, 16, 32
+		t.Fatalf("rows = %d, want 4", out.NumRows())
+	}
+}
+
+// differentialQueries is the full corpus the pushdown path must answer
+// bit-identically to the in-memory path — including which queries error.
+var differentialQueries = []string{
+	"SELECT * FROM t",
+	"select rank, wait from t",
+	"SELECT * FROM t WHERE step >= 1 AND wait < 20",
+	"SELECT * FROM t WHERE policy = 'lpt'",
+	"SELECT * FROM t WHERE policy != 'lpt'",
+	"SELECT * FROM t WHERE (step = 0 OR step = 2) AND NOT policy = 'cdp'",
+	"SELECT policy, sum(wait) AS total FROM t GROUP BY policy ORDER BY total DESC",
+	"SELECT count(*) AS n, mean(wait) AS m, max(wait) FROM t",
+	"SELECT rank, policy, sum(wait) AS s FROM t GROUP BY rank, policy ORDER BY s DESC LIMIT 2",
+	"SELECT * FROM t ORDER BY rank ASC, wait DESC",
+	"SELECT * FROM t LIMIT 0",
+	"SELECT nope FROM t",
+	"SELECT rank FROM t WHERE bogus = 1",
+	"SELECT rank, sum(wait) FROM t",
+	"SELECT sum(policy) FROM t",
+	"SELECT * FROM t GROUP BY rank",
+	"SELECT * FROM t WHERE wait = 'x'",
+	"sElEcT RANK, SUM(WAIT) as S frOm t GrOuP bY rank",
+	"SELECT * FROM t WHERE wait >= 1.5e1",
+	"SELECT * FROM t WHERE wait < .5",
+	"SELECT * FROM t WHERE step = 1",
+	"SELECT p99(wait), count(*) FROM t",
+	"SELECT policy, mean(wait) FROM t GROUP BY policy",
+	"SELECT * FROM t WHERE wait = 4",
+	"SELECT * FROM t WHERE wait <> 4",
+	"SELECT * FROM t WHERE wait < 4",
+	"SELECT * FROM t WHERE wait <= 4",
+	"SELECT * FROM t WHERE wait > 4",
+	"SELECT * FROM t WHERE wait >= 4",
+	"SELECT * FROM t WHERE policy < 'lpt'",
+	"SELECT * FROM t WHERE policy <= 'lpt'",
+	"SELECT * FROM t WHERE policy > 'cdp'",
+	"SELECT * FROM t WHERE policy >= 'cdp'",
+	"SELECT rank AS r, wait AS w FROM t LIMIT 1",
+	"SELECT policy AS p, count(*) AS n FROM t GROUP BY policy",
+	"SELECT * FROM t WHERE wait > 2 * 4",
+	"SELECT * FROM t WHERE wait >= 2 + 6",
+	"SELECT * FROM t WHERE wait < 32 / 2",
+	"SELECT * FROM t WHERE wait - 1 = 0",
+	"SELECT * FROM t WHERE -wait < 0",
+	"SELECT * FROM t WHERE wait * 2 > wait + 1",
+	"SELECT * FROM t WHERE (wait + 1) * 2 >= 10",
+	"SELECT * FROM t WHERE wait > step * 10",
+	"SELECT * FROM t WHERE wait / 0 > 1",
+	"SELECT * FROM t WHERE policy + 1 > 0",
+	"SELECT * FROM t WHERE 1 / (wait - 2) > 0",
+	"SELECT * FROM t WHERE wait != 2 AND 1 / (wait - 2) > 0",
+	"SELECT * FROM t WHERE wait = 2 OR 1 / (wait - 2) > 0",
+	"SELECT * FROM t WHERE 1 / (wait - 2) > 0 AND step > 100",
+	"SELECT * FROM t WHERE step > 100 AND 1 / (wait - 2) > 0",
+	"SELECT count(*) AS n, sum(wait), min(wait), max(wait), mean(wait) FROM t",
+	"SELECT min(step), max(rank) FROM t WHERE step >= 0",
+	"SELECT sum(wait) FROM t WHERE step > 100",
+	"SELECT sum(step) AS s FROM t WHERE step >= 1",
+	"SELECT policy, mean(wait) AS mw FROM t WHERE step >= 1 GROUP BY policy ORDER BY mw",
+	"SELECT rank FROM t WHERE step = 1",
+	"SELECT wait FROM t ORDER BY wait DESC LIMIT 3",
+	"SELECT * FROM t WHERE step != 1",
+	"SELECT * FROM t WHERE 1 = 1",
+	"SELECT * FROM t WHERE 'a' = 'b'",
+	"SELECT * FROM t WHERE policy = policy",
+	"SELECT * FROM t WHERE 'lpt' = policy",
+	"SELECT * FROM t WHERE NOT (step = 1 OR wait > 10)",
+	"SELECT var(wait), std(wait) FROM t WHERE step <= 1",
+}
+
+// runDifferential asserts Exec and ExecFile agree (result and error) for
+// every corpus query against the given table at several chunk sizes.
+func runDifferential(t *testing.T, src *telemetry.Table, label string) {
+	t.Helper()
+	for _, chunkRows := range []int{0, 1, 2, 4} {
+		var buf bytes.Buffer
+		if err := colfile.WriteTable(&buf, src, chunkRows); err != nil {
+			t.Fatal(err)
+		}
+		r, err := colfile.OpenBytes(buf.Bytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, query := range differentialQueries {
+			q, err := Parse(query)
+			if err != nil {
+				continue // parse errors never reach either executor
+			}
+			want, wantErr := Exec(q, src)
+			got, gotErr := ExecFile(q, r)
+			switch {
+			case (wantErr == nil) != (gotErr == nil):
+				t.Errorf("%s chunk=%d %q: legacy err=%v, file err=%v",
+					label, chunkRows, query, wantErr, gotErr)
+			case wantErr != nil:
+				if wantErr.Error() != gotErr.Error() {
+					t.Errorf("%s chunk=%d %q: error text %q != %q",
+						label, chunkRows, query, gotErr, wantErr)
+				}
+			case !telemetry.Equal(want, got):
+				t.Errorf("%s chunk=%d %q: results differ\nlegacy:\n%sfile:\n%s",
+					label, chunkRows, query, want.Render(0), got.Render(0))
+			}
+		}
+	}
+}
+
+func TestDifferentialExecFile(t *testing.T) {
+	runDifferential(t, testTable(), "corpus")
+}
+
+func TestDifferentialExecFileEmptyTable(t *testing.T) {
+	empty := telemetry.NewTable(
+		telemetry.IntCol("step"), telemetry.IntCol("rank"),
+		telemetry.FloatCol("wait"), telemetry.StrCol("policy"))
+	runDifferential(t, empty, "empty")
+}
+
+// TestDifferentialExecFileV1 runs the corpus against the committed
+// pre-PR version-1 golden file: old files must answer new queries.
+func TestDifferentialExecFileV1(t *testing.T) {
+	data, err := os.ReadFile("../colfile/testdata/v1_golden.col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := colfile.OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := colfile.ReadAll(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, query := range differentialQueries {
+		q, err := Parse(query)
+		if err != nil {
+			continue
+		}
+		want, wantErr := Exec(q, src)
+		got, gotErr := ExecFile(q, r)
+		switch {
+		case (wantErr == nil) != (gotErr == nil):
+			t.Errorf("v1 %q: legacy err=%v, file err=%v", query, wantErr, gotErr)
+		case wantErr != nil:
+			if wantErr.Error() != gotErr.Error() {
+				t.Errorf("v1 %q: error text %q != %q", query, gotErr, wantErr)
+			}
+		case !telemetry.Equal(want, got):
+			t.Errorf("v1 %q: results differ", query)
+		}
+	}
+}
+
+// fileFor writes src as a v2 colfile and opens a seekable reader on it.
+func fileFor(t *testing.T, src *telemetry.Table, chunkRows int) *colfile.Reader {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := colfile.WriteTable(&buf, src, chunkRows); err != nil {
+		t.Fatal(err)
+	}
+	r, err := colfile.OpenBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// sortedTable builds rows with step ascending so chunks have disjoint
+// step ranges — the shape zone-map pruning thrives on.
+func sortedTable(rows int) *telemetry.Table {
+	t := telemetry.NewTable(
+		telemetry.IntCol("step"), telemetry.FloatCol("wait"), telemetry.StrCol("policy"))
+	policies := []string{"lpt", "cdp"}
+	for i := 0; i < rows; i++ {
+		t.Append(i, float64(i%32), policies[i%2])
+	}
+	return t
+}
+
+// TestMetadataOnlyAggregates asserts the headline acceptance criterion:
+// a no-WHERE min/max/sum/count/avg query is answered from the footer
+// without decoding any chunk payload — proven by the decode counter.
+func TestMetadataOnlyAggregates(t *testing.T) {
+	src := sortedTable(1000)
+	r := fileFor(t, src, 100)
+	q, err := Parse("SELECT count(*) AS n, sum(wait) AS s, min(step) AS lo, max(step) AS hi, avg(wait) AS m FROM f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ex, err := ExecFileExplain(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DecodeCount() != 0 {
+		t.Fatalf("metadata-only query decoded %d chunks", r.DecodeCount())
+	}
+	if !ex.MetadataOnly {
+		t.Fatalf("explain = %+v, want MetadataOnly", ex)
+	}
+	if out.Floats("n")[0] != 1000 || out.Floats("lo")[0] != 0 || out.Floats("hi")[0] != 999 {
+		t.Fatalf("wrong metadata answer:\n%s", out.Render(0))
+	}
+	// Cross-check sum and mean against the legacy path.
+	want, err := Exec(q, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !telemetry.Equal(want, out) {
+		t.Fatalf("metadata answer differs from legacy:\n%s\nvs\n%s", out.Render(0), want.Render(0))
+	}
+}
+
+// TestMetadataOnlyWithCoveringPredicate: a sargable WHERE that fully
+// covers or fully excludes every chunk still needs no payload.
+func TestMetadataOnlyWithCoveringPredicate(t *testing.T) {
+	r := fileFor(t, sortedTable(1000), 100)
+	q, err := Parse("SELECT count(*) AS n FROM f WHERE step >= 300 AND step < 500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ex, err := ExecFileExplain(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DecodeCount() != 0 || !ex.MetadataOnly {
+		t.Fatalf("decodes = %d, explain = %+v", r.DecodeCount(), ex)
+	}
+	if out.Floats("n")[0] != 200 {
+		t.Fatalf("count = %v, want 200", out.Floats("n")[0])
+	}
+}
+
+// TestPushdownSkipsChunks asserts zone-map pruning decodes only chunks
+// whose range intersects the predicate.
+func TestPushdownSkipsChunks(t *testing.T) {
+	src := sortedTable(1000) // 10 chunks of 100 rows, step ranges disjoint
+	r := fileFor(t, src, 100)
+	q, err := Parse("SELECT step, wait FROM f WHERE step >= 450 AND step < 520")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ex, err := ExecFileExplain(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 70 {
+		t.Fatalf("rows = %d, want 70", out.NumRows())
+	}
+	if r.DecodeCount() != 2 { // chunks [400,499] and [500,599]
+		t.Fatalf("decoded %d chunks, want 2", r.DecodeCount())
+	}
+	if ex.ChunksSkipped != 8 || ex.ChunksScanned != 2 {
+		t.Fatalf("explain = %+v", ex)
+	}
+}
+
+// TestProjectionPushdown asserts only referenced columns are decoded.
+func TestProjectionPushdown(t *testing.T) {
+	r := fileFor(t, sortedTable(200), 50)
+	q, err := Parse("SELECT wait FROM f WHERE step < 60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ex, err := ExecFileExplain(q, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// policy is referenced nowhere: it must not appear in the decode set.
+	for _, c := range ex.ColumnsDecoded {
+		if c == "policy" {
+			t.Fatalf("unreferenced column decoded: %v", ex.ColumnsDecoded)
+		}
+	}
+	if len(ex.ColumnsDecoded) != 2 { // step (where) + wait (select)
+		t.Fatalf("columns decoded = %v", ex.ColumnsDecoded)
+	}
+}
+
+// TestPruningUnsoundWithFalliblePrefix: a chunk may only be skipped on
+// conjunct i when conjuncts before i cannot error — legacy evaluation
+// still runs them on every row of the would-be-skipped chunk.
+func TestPruningUnsoundWithFalliblePrefix(t *testing.T) {
+	src := testTable() // wait row 1 = 2 → 1/(wait-2) divides by zero
+	r := fileFor(t, src, 2)
+	// Conjunct 1 (step > 100) excludes every chunk, but conjunct 0 is
+	// fallible and must still surface its error.
+	q, err := Parse("SELECT * FROM f WHERE 1 / (wait - 2) > 0 AND step > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gotErr := ExecFile(q, r)
+	if gotErr == nil || !strings.Contains(gotErr.Error(), "division by zero") {
+		t.Fatalf("err = %v, want division by zero", gotErr)
+	}
+	// Reversed order: pruning on the leading infallible conjunct is sound
+	// and the fallible conjunct is never reached (short-circuit).
+	q2, err := Parse("SELECT * FROM f WHERE step > 100 AND 1 / (wait - 2) > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ExecFile(q2, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 0 {
+		t.Fatalf("rows = %d, want 0", out.NumRows())
+	}
+}
+
+// TestExplainFallback: queries the compiler cannot type run legacy.
+func TestExplainFallback(t *testing.T) {
+	r := fileFor(t, testTable(), 2)
+	q, err := Parse("SELECT * FROM f WHERE wait = 'x'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ex, _ := ExecFileExplain(q, r)
+	if ex.Fallback == "" {
+		t.Fatalf("explain = %+v, want fallback", ex)
+	}
+}
+
+// oldRename is the pre-PR row-copying implementation, kept as the
+// benchmark baseline for the storage-sharing version.
+func oldRename(t *telemetry.Table, names []string) *telemetry.Table {
+	schema := t.Schema()
+	for i := range schema {
+		schema[i].Name = names[i]
+	}
+	out := telemetry.NewTable(schema...)
+	old := t.Schema()
+	vals := make([]interface{}, len(schema))
+	for r := 0; r < t.NumRows(); r++ {
+		for i := range schema {
+			vals[i] = t.ValueAt(old[i].Name, r)
+		}
+		out.Append(vals...)
+	}
+	return out
+}
+
+func renameBenchTable(rows int) (*telemetry.Table, []string) {
+	t := telemetry.NewTable(
+		telemetry.IntCol("a"), telemetry.FloatCol("b"), telemetry.StrCol("c"))
+	for i := 0; i < rows; i++ {
+		t.Append(i, float64(i)*0.5, "xyz")
+	}
+	return t, []string{"x", "y", "z"}
+}
+
+func BenchmarkRenameShared(b *testing.B) {
+	t, names := renameBenchTable(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := rename(t, names); out.NumRows() != t.NumRows() {
+			b.Fatal("bad rename")
+		}
+	}
+}
+
+func BenchmarkRenameCopy(b *testing.B) {
+	t, names := renameBenchTable(100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := oldRename(t, names); out.NumRows() != t.NumRows() {
+			b.Fatal("bad rename")
+		}
+	}
+}
+
+func TestRenameSharedMatchesCopy(t *testing.T) {
+	tb, names := renameBenchTable(100)
+	if !telemetry.Equal(oldRename(tb, names), rename(tb, names)) {
+		t.Fatal("shared rename differs from copying rename")
+	}
+}
