@@ -48,17 +48,17 @@ func main() {
 		}
 	}
 
-	pkgs, err := lint.Load(lint.LoadConfig{Dir: root, Patterns: flag.Args()})
+	set, err := lint.LoadSet(lint.LoadConfig{Dir: root, Patterns: flag.Args()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "amrlint:", err)
 		os.Exit(2)
 	}
-	if len(pkgs) == 0 {
+	if len(set.Selected) == 0 {
 		// A typo'd pattern must not pass silently as "zero diagnostics".
 		fmt.Fprintf(os.Stderr, "amrlint: patterns %v matched no packages\n", flag.Args())
 		os.Exit(2)
 	}
-	diags := lint.Run(pkgs, lint.Analyzers())
+	diags := lint.Run(set, lint.Analyzers())
 	relativize(diags, root)
 
 	if *jsonOut {

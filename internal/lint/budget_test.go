@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"testing"
+	"time"
+)
+
+// perPkgOnly hides an analyzer's RunModule method so it runs in its legacy
+// per-package mode: the method set of the embedded interface value is just
+// Name/Doc/Run, so the ModuleAnalyzer assertion in Run fails.
+type perPkgOnly struct{ Analyzer }
+
+// pr5Analyzers is the original per-package rule set, the budget baseline.
+func pr5Analyzers() []Analyzer {
+	return []Analyzer{
+		perPkgOnly{NewDeterminism(nil)},
+		MapOrder{},
+		perPkgOnly{ReqLeak{}},
+		SpanPair{},
+		Exhaustive{},
+	}
+}
+
+// TestInterproceduralBudget pins the lint wall-clock budget: the full set —
+// call graph, summaries, and all nine rules — must cost at most 2x the
+// original five per-package rules on the real module (with a small absolute
+// floor so machine noise on a fast baseline cannot flake the suite).
+// Loading/type-checking is excluded: it is identical for both sets.
+func TestInterproceduralBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	set, err := LoadSet(LoadConfig{Dir: "../.."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestOf := func(analyzers []Analyzer) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			Run(set, analyzers)
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	base := bestOf(pr5Analyzers())
+	full := bestOf(Analyzers())
+	budget := 2 * base
+	if floor := 250 * time.Millisecond; budget < floor {
+		budget = floor
+	}
+	t.Logf("per-package baseline %v, full interprocedural set %v (budget %v)", base, full, budget)
+	if full > budget {
+		t.Fatalf("interprocedural lint %v exceeds budget %v (baseline %v)", full, budget, base)
+	}
+}

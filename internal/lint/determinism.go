@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -52,9 +53,13 @@ var envFuncs = map[string]bool{
 	"Getenv": true, "LookupEnv": true, "Environ": true,
 }
 
-// Determinism flags wall-clock reads (time.Now/Since/…), math/rand imports,
-// os environment lookups, and goroutine spawns inside the deterministic
-// core. Randomness must come from internal/xrand (seeded, stream-split);
+// Determinism flags wall-clock reads (time.Now/Since/…), math/rand usage,
+// os environment lookups, and goroutine spawns in the deterministic core —
+// and, since the rule went interprocedural, in every module function the
+// core can reach: a time.Now in a "utility" package is just as
+// schedule-visible when the core calls it, so findings outside the core
+// carry a call-path witness from the core function that reaches them.
+// Randomness must come from internal/xrand (seeded, stream-split);
 // simulated time from the DES engine's virtual clock; configuration from
 // Config structs; concurrency from the audited fork-join helpers already in
 // place. Telemetry-only wall-clock reads are waivable with a reason.
@@ -78,48 +83,91 @@ func NewDeterminism(core []string) *Determinism {
 
 func (d *Determinism) Name() string { return "determinism" }
 func (d *Determinism) Doc() string {
-	return "forbid wall-clock, math/rand, env lookups, and goroutine spawns in the deterministic core"
+	return "forbid wall-clock, math/rand, env lookups, and goroutine spawns in (and reachable from) the deterministic core"
 }
 
-func (d *Determinism) Run(pass *Pass) {
-	core := false
+func (d *Determinism) coreSet() map[string]bool {
+	out := map[string]bool{}
 	for _, p := range d.Core {
-		if pass.Pkg.Path == p {
-			core = true
-			break
-		}
+		out[p] = true
 	}
-	if !core {
+	return out
+}
+
+// Run applies the in-core checks to one package — kept for standalone
+// per-package use; under lint.Run the analyzer runs once as a
+// ModuleAnalyzer instead.
+func (d *Determinism) Run(pass *Pass) {
+	if !d.coreSet()[pass.Pkg.Path] {
 		return
 	}
-	for _, f := range pass.Pkg.Files {
+	d.checkCorePkg(pass.Pkg, func(pos token.Pos, fix, format string, args ...interface{}) {
+		pass.Reportf(pos, d.Name(), fix, format, args...)
+	})
+}
+
+// RunModule applies the in-core checks to every core package, then walks
+// the call graph outward: any non-core module function reachable from core
+// code — by direct call, sealed-interface dispatch, or function-value
+// reference — is held to the same standard, with a call-path witness.
+func (d *Determinism) RunModule(mp *ModulePass) {
+	core := d.coreSet()
+	for _, pkg := range mp.Set.All {
+		if !core[pkg.Path] {
+			continue
+		}
+		d.checkCorePkg(pkg, func(pos token.Pos, fix, format string, args ...interface{}) {
+			mp.Reportf(pos, d.Name(), fix, nil, format, args...)
+		})
+	}
+	var roots []*FuncNode
+	for _, n := range mp.Graph.Nodes {
+		if core[n.Pkg.Path] {
+			roots = append(roots, n)
+		}
+	}
+	if len(roots) == 0 {
+		return
+	}
+	reach := mp.Graph.Reachable(roots, EdgeCall|EdgeIface|EdgeRef, nil)
+	for _, n := range mp.Graph.Nodes {
+		if core[n.Pkg.Path] || !reach.Has(n) {
+			continue
+		}
+		d.checkReachedNode(mp, n, reach)
+	}
+}
+
+// checkCorePkg applies the syntactic in-core checks to one core package.
+func (d *Determinism) checkCorePkg(pkg *Package, report func(pos token.Pos, fix, format string, args ...interface{})) {
+	for _, f := range pkg.Files {
 		for _, spec := range f.Imports {
 			path := strings.Trim(spec.Path.Value, `"`)
 			if path == "math/rand" || path == "math/rand/v2" {
-				pass.Reportf(spec.Pos(), d.Name(),
+				report(spec.Pos(),
 					"use internal/xrand (seeded, stream-splittable)",
-					"import of %s in deterministic core package %s", path, pass.Pkg.Path)
+					"import of %s in deterministic core package %s", path, pkg.Path)
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				pass.Reportf(n.Pos(), d.Name(),
+				report(n.Pos(),
 					"use a deterministic fork-join (fixed partition, WaitGroup, disjoint writes) and waive it with the invariant it preserves",
-					"goroutine spawn in deterministic core package %s", pass.Pkg.Path)
+					"goroutine spawn in deterministic core package %s", pkg.Path)
 			case *ast.SelectorExpr:
 				// Flagging the selector rather than a call catches stored
 				// references (fn := time.Now) as well as direct calls.
-				pkgName, fun := stdlibSelector(pass, n)
+				pkgName, fun := pkgSelector(pkg, n)
 				switch {
 				case pkgName == "time" && wallClockFuncs[fun]:
-					pass.Reportf(n.Pos(), d.Name(),
+					report(n.Pos(),
 						"derive times from the DES virtual clock or replace the wall-clock dependence with a deterministic budget",
-						"wall-clock call time.%s in deterministic core package %s", fun, pass.Pkg.Path)
+						"wall-clock call time.%s in deterministic core package %s", fun, pkg.Path)
 				case pkgName == "os" && envFuncs[fun]:
-					pass.Reportf(n.Pos(), d.Name(),
+					report(n.Pos(),
 						"thread configuration through the package's Config struct",
-						"environment lookup os.%s in deterministic core package %s", fun, pass.Pkg.Path)
+						"environment lookup os.%s in deterministic core package %s", fun, pkg.Path)
 				}
 			}
 			return true
@@ -127,15 +175,45 @@ func (d *Determinism) Run(pass *Pass) {
 	}
 }
 
-// stdlibSelector resolves a selector of the form pkg.Fun where pkg is an
+// checkReachedNode applies the determinism checks to the own body of a
+// non-core function the core reaches.
+func (d *Determinism) checkReachedNode(mp *ModulePass, n *FuncNode, reach *Reach) {
+	path := reach.Path(n)
+	walkOwn(n.Body(), func(node ast.Node) {
+		switch node := node.(type) {
+		case *ast.GoStmt:
+			mp.Reportf(node.Pos(), d.Name(),
+				"restructure so the core does not reach this spawn, or waive it with the invariant that keeps it schedule-invisible",
+				path, "goroutine spawn in %s, reachable from the deterministic core", n.Name)
+		case *ast.SelectorExpr:
+			pkgName, fun := pkgSelector(n.Pkg, node)
+			switch {
+			case pkgName == "time" && wallClockFuncs[fun]:
+				mp.Reportf(node.Pos(), d.Name(),
+					"derive times from the DES virtual clock or hoist the wall-clock read out of core-reachable code",
+					path, "wall-clock call time.%s in %s, reachable from the deterministic core", fun, n.Name)
+			case pkgName == "os" && envFuncs[fun]:
+				mp.Reportf(node.Pos(), d.Name(),
+					"thread configuration through a Config struct instead of reading the environment",
+					path, "environment lookup os.%s in %s, reachable from the deterministic core", fun, n.Name)
+			case (pkgName == "math/rand" || pkgName == "math/rand/v2") && fun != "":
+				mp.Reportf(node.Pos(), d.Name(),
+					"use internal/xrand (seeded, stream-splittable)",
+					path, "math/rand use rand.%s in %s, reachable from the deterministic core", fun, n.Name)
+			}
+		}
+	})
+}
+
+// pkgSelector resolves a selector of the form pkg.Fun where pkg is an
 // imported package name, returning the package path and function name
 // ("" when the selector has another shape, e.g. a method on a value).
-func stdlibSelector(pass *Pass, sel *ast.SelectorExpr) (pkgPath, fun string) {
+func pkgSelector(pkg *Package, sel *ast.SelectorExpr) (pkgPath, fun string) {
 	id, ok := ast.Unparen(sel.X).(*ast.Ident)
 	if !ok {
 		return "", ""
 	}
-	pn, ok := pass.Pkg.Info.Uses[id].(*types.PkgName)
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
 	if !ok {
 		return "", ""
 	}

@@ -62,8 +62,8 @@ func collectExpectations(t *testing.T, root string) []*expectation {
 	return out
 }
 
-// fixtureAnalyzers is the production set with the determinism core pointed
-// at the fixture module's core package.
+// fixtureAnalyzers is the production set with the determinism and
+// plane-classification cores pointed at the fixture module's core package.
 func fixtureAnalyzers() []Analyzer {
 	return []Analyzer{
 		NewDeterminism([]string{"fixturemod/core"}),
@@ -71,16 +71,20 @@ func fixtureAnalyzers() []Analyzer {
 		ReqLeak{},
 		SpanPair{},
 		Exhaustive{},
+		SharedMut{},
+		ErrDrop{},
+		HotAlloc{},
+		NewPlaneCross([]string{"fixturemod/core"}),
 	}
 }
 
 func TestFixtures(t *testing.T) {
 	root := filepath.Join("testdata", "src", "fixturemod")
-	pkgs, err := Load(LoadConfig{Dir: root})
+	set, err := LoadSet(LoadConfig{Dir: root})
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := Run(pkgs, fixtureAnalyzers())
+	diags := Run(set, fixtureAnalyzers())
 	wants := collectExpectations(t, root)
 
 	for _, d := range diags {

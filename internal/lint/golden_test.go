@@ -11,11 +11,11 @@ func TestRealModuleClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
 	}
-	pkgs, err := Load(LoadConfig{Dir: "../.."})
+	set, err := LoadSet(LoadConfig{Dir: "../.."})
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := Run(pkgs, Analyzers())
+	diags := Run(set, Analyzers())
 	for _, d := range diags {
 		t.Errorf("unwaived diagnostic: %s", d.String())
 	}

@@ -37,7 +37,9 @@ func ReadJSON(r io.Reader) ([]Diagnostic, error) {
 }
 
 // Analyzers returns the production analyzer set over the module's default
-// deterministic-core package list.
+// deterministic-core package list: the five per-package rules of PR 5 (two
+// of them — determinism and reqleak — now interprocedural) plus the four
+// call-graph rules.
 func Analyzers() []Analyzer {
 	return []Analyzer{
 		NewDeterminism(nil),
@@ -45,5 +47,9 @@ func Analyzers() []Analyzer {
 		ReqLeak{},
 		SpanPair{},
 		Exhaustive{},
+		SharedMut{},
+		ErrDrop{},
+		HotAlloc{},
+		NewPlaneCross(nil),
 	}
 }

@@ -15,6 +15,10 @@ func TestJSONRoundTrip(t *testing.T) {
 			Fix:     "derive times from the DES virtual clock"},
 		{File: "internal/lint/waiver.go", Line: 3, Col: 1, Rule: "waiver",
 			Message: "unused waiver for rule maporder: no diagnostic suppressed"},
+		{File: "internal/physics/heat.go", Line: 41, Col: 9, Rule: "sharedmut",
+			Message: `order-dependent state advance: xrand.(*RNG).Intn mutates scalar state of shared "p" and returns a value`,
+			Fix:     "give each shard/worker its own instance",
+			Path:    []string{"driver.runEpoch$1", "physics.(*heatProblem).Cost"}},
 	}
 	var buf bytes.Buffer
 	if err := WriteJSON(&buf, in); err != nil {
@@ -49,6 +53,11 @@ func TestJSONOmitsEmptyFix(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), "fix") {
 		t.Fatalf("empty fix serialized: %s", buf.String())
+	}
+	// Per-package diagnostics have no call-path witness; the field must not
+	// appear as "path":null noise in the stream.
+	if strings.Contains(buf.String(), "path") {
+		t.Fatalf("empty path serialized: %s", buf.String())
 	}
 }
 

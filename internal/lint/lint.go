@@ -33,11 +33,13 @@ import (
 	"go/token"
 	"go/types"
 	"sort"
+	"strings"
 )
 
 // Diagnostic is one analyzer finding: the position, the stable rule id, the
-// human message, and a suggested fix. It is the unit of amrlint's output in
-// both text and -json modes.
+// human message, a suggested fix, and — for the interprocedural rules — the
+// call-path witness that makes the finding checkable by a reviewer. It is
+// the unit of amrlint's output in both text and -json modes.
 type Diagnostic struct {
 	// File is the path of the offending file as given to the loader.
 	File string `json:"file"`
@@ -45,17 +47,26 @@ type Diagnostic struct {
 	Line int `json:"line"`
 	Col  int `json:"col"`
 	// Rule is the stable rule id ("determinism", "maporder", "reqleak",
-	// "spanpair", "exhaustive", "waiver").
+	// "spanpair", "exhaustive", "sharedmut", "errdrop", "hotalloc",
+	// "planecross", "waiver").
 	Rule string `json:"rule"`
 	// Message describes the violation.
 	Message string `json:"message"`
 	// Fix is the suggested remediation, when the analyzer has one.
 	Fix string `json:"fix,omitempty"`
+	// Path is the call-path witness of an interprocedural finding: function
+	// display names from the analysis root (a window-phase closure, a
+	// hot-path annotation, a core entry point) to the function containing
+	// the flagged site. Empty for the purely local rules.
+	Path []string `json:"path,omitempty"`
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
 func (d Diagnostic) String() string {
 	s := fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+	if len(d.Path) > 0 {
+		s += " [via " + strings.Join(d.Path, " -> ") + "]"
+	}
 	if d.Fix != "" {
 		s += " (fix: " + d.Fix + ")"
 	}
@@ -120,19 +131,82 @@ type Analyzer interface {
 	Run(pass *Pass)
 }
 
-// Run executes every analyzer over every package, applies waivers, flags
+// A ModuleAnalyzer checks one rule over the whole module at once — the
+// interface of the interprocedural rules, which need the module call graph
+// and the per-function summaries rather than one package's AST. An analyzer
+// implementing both interfaces is run once as a ModuleAnalyzer; its Run
+// method is ignored.
+type ModuleAnalyzer interface {
+	Analyzer
+	// RunModule analyzes the whole module through the shared call graph and
+	// summaries, reporting through mp.Reportf.
+	RunModule(mp *ModulePass)
+}
+
+// ModulePass is one interprocedural analyzer's view of the module: every
+// loaded package, the call graph, and the per-function summaries. Graph and
+// summaries are built once per Run and shared by all module analyzers.
+type ModulePass struct {
+	// Set holds every loaded package plus the pattern-selected subset.
+	Set *ModuleSet
+	// Graph is the module call graph (static calls, sealed-interface
+	// dispatch, closure/function-value references).
+	Graph *Graph
+	// Sums holds the per-function summaries (receiver mutation, error
+	// propagation, request-parameter handling).
+	Sums *Summaries
+
+	diags *[]Diagnostic
+}
+
+// Reportf records an interprocedural diagnostic at pos, with an optional
+// call-path witness (root → containing function display names).
+func (mp *ModulePass) Reportf(pos token.Pos, rule, fix string, path []string, format string, args ...interface{}) {
+	position := mp.Set.Fset.Position(pos)
+	*mp.diags = append(*mp.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
+		Path:    path,
+	})
+}
+
+// Run executes every analyzer over the module, applies waivers, flags
 // unused waivers, and returns the surviving diagnostics sorted by position.
-func Run(pkgs []*Package, analyzers []Analyzer) []Diagnostic {
+// Per-package analyzers see the pattern-selected packages; module analyzers
+// always see the whole module (an interprocedural fact does not stop at a
+// pattern boundary) but their findings are filtered to selected packages.
+func Run(set *ModuleSet, analyzers []Analyzer) []Diagnostic {
 	var raw []Diagnostic
-	for _, pkg := range pkgs {
-		pass := &Pass{Pkg: pkg, Module: pkgs, diags: &raw}
+	var modRaw []Diagnostic
+	var mp *ModulePass
+	for _, a := range analyzers {
+		ma, ok := a.(ModuleAnalyzer)
+		if !ok {
+			continue
+		}
+		if mp == nil {
+			g := BuildGraph(set.All)
+			mp = &ModulePass{Set: set, Graph: g, Sums: Summarize(g), diags: &modRaw}
+		}
+		ma.RunModule(mp)
+	}
+	for _, pkg := range set.Selected {
+		pass := &Pass{Pkg: pkg, Module: set.All, diags: &raw}
 		for _, a := range analyzers {
+			if _, ok := a.(ModuleAnalyzer); ok {
+				continue
+			}
 			a.Run(pass)
 		}
 	}
-	ws := collectWaivers(pkgs)
+	raw = append(raw, set.restrict(modRaw)...)
+	ws := collectWaivers(set.All)
 	diags := ws.filter(raw)
-	diags = append(diags, ws.unused()...)
+	diags = append(diags, ws.unusedIn(set.selectedFiles())...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {

@@ -30,12 +30,58 @@ type LoadConfig struct {
 	Patterns []string
 }
 
-// Load parses and type-checks the module's non-test packages in dependency
-// order using only the standard library: module-internal imports resolve to
-// the packages checked earlier in the order, standard-library imports go
-// through go/importer's "source" importer. It returns the packages matching
-// cfg.Patterns, sorted by import path.
+// ModuleSet is one full module load: every package, plus the subset
+// selected by the load patterns. Per-package rules run over Selected;
+// interprocedural rules always analyze All (reachability does not stop at a
+// pattern boundary) and restrict their findings to Selected.
+type ModuleSet struct {
+	// Fset positions every file of the load.
+	Fset *token.FileSet
+	// All is every module package, in dependency order.
+	All []*Package
+	// Selected is the pattern-matched subset, sorted by import path.
+	Selected []*Package
+}
+
+// selectedFiles returns the set of file paths belonging to Selected.
+func (s *ModuleSet) selectedFiles() map[string]bool {
+	out := map[string]bool{}
+	for _, pkg := range s.Selected {
+		for _, f := range pkg.Files {
+			out[s.Fset.Position(f.Pos()).Filename] = true
+		}
+	}
+	return out
+}
+
+// restrict filters diagnostics to files of selected packages.
+func (s *ModuleSet) restrict(diags []Diagnostic) []Diagnostic {
+	files := s.selectedFiles()
+	out := diags[:0:0]
+	for _, d := range diags {
+		if files[d.File] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Load parses and type-checks the module and returns the packages matching
+// cfg.Patterns, sorted by import path. It is LoadSet's selected view, kept
+// for callers that only need per-package analysis.
 func Load(cfg LoadConfig) ([]*Package, error) {
+	set, err := LoadSet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return set.Selected, nil
+}
+
+// LoadSet parses and type-checks the module's non-test packages in
+// dependency order using only the standard library: module-internal imports
+// resolve to the packages checked earlier in the order, standard-library
+// imports go through go/importer's "source" importer.
+func LoadSet(cfg LoadConfig) (*ModuleSet, error) {
 	if cfg.Module == "" {
 		mod, err := modulePath(cfg.Dir)
 		if err != nil {
@@ -107,7 +153,7 @@ func Load(cfg LoadConfig) ([]*Package, error) {
 		}
 	}
 	sort.Slice(selected, func(i, j int) bool { return selected[i].Path < selected[j].Path })
-	return selected, nil
+	return &ModuleSet{Fset: fset, All: pkgs, Selected: selected}, nil
 }
 
 // modulePath reads the module declaration from dir/go.mod.

@@ -1,0 +1,7 @@
+package core
+
+import "fixturemod/util"
+
+// UsesUtil pulls util.Stamp into the core's reachable set: the diagnostic
+// lands in util with a call-path witness, not here.
+func UsesUtil() int64 { return util.Stamp() }

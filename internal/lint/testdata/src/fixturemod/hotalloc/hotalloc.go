@@ -1,0 +1,80 @@
+// Package hotalloc exercises the hot-path allocation rule: closures,
+// composites, make/new, and interface boxing reachable from //amr:hotpath
+// roots, with //amr:cold pruning and the panic-argument exemption.
+package hotalloc
+
+import "fmt"
+
+// event is a pooled payload.
+type event struct {
+	t   float64
+	tag int
+}
+
+// pool is the freelist the hot path should draw from.
+var pool []*event
+
+// sink is an interface-typed parameter: concrete non-pointer arguments box.
+func sink(v interface{}) { _ = v }
+
+// sinkAll is the variadic form.
+func sinkAll(vs ...interface{}) { _ = vs }
+
+// Step is the per-event dispatch loop — the annotated root.
+//
+//amr:hotpath
+func Step(n int) {
+	for i := 0; i < n; i++ {
+		f := func() { _ = i } // want `closure allocated in hot path`
+		f()
+		e := &event{t: float64(i)} // want `composite allocated \(&T\{…\}\) in hot path`
+		buf := make([]byte, 64)    // want `make\(…\) in hot path`
+		p := new(event)            // want `new\(T\) in hot path`
+		sink(i)                    // want `interface boxing: int value passed to interface parameter in hot path`
+		_, _, _ = e, buf, p
+		dispatch(i)
+	}
+}
+
+// dispatch is not annotated but is reachable from Step, so its allocations
+// are flagged with a call-path witness.
+func dispatch(tag int) {
+	if tag < 0 {
+		// Panic arguments evaluate on the failure path only: the Sprintf
+		// boxing and the slice it builds are exempt.
+		panic(fmt.Sprintf("hotalloc: negative tag %d", tag))
+	}
+	sink(tag) // want `interface boxing: int value passed to interface parameter in hot path`
+	audit(tag)
+}
+
+// audit is one-time error-path machinery: //amr:cold prunes the traversal,
+// so nothing below it is flagged.
+//
+//amr:cold
+func audit(tag int) {
+	msgs := make([]string, 0, 8)
+	msgs = append(msgs, fmt.Sprint(tag))
+	sink(msgs)
+}
+
+// Pooled is the clean hot loop: reuse, pointer arguments, immediately
+// invoked literals, and spread forwarding allocate nothing new.
+//
+//amr:hotpath
+func Pooled(n int, scratch []byte, args []interface{}) {
+	for i := 0; i < n; i++ {
+		var e *event
+		if k := len(pool); k > 0 {
+			e, pool = pool[k-1], pool[:k-1]
+		} else {
+			continue
+		}
+		e.tag = i
+		func() { e.t = float64(i) }() // immediately invoked: a call, not an allocation
+		sink(e)                       // pointer fits the interface word: no box
+		sinkAll(args...)              // spread forwards the slice as-is: no box
+		scratch = scratch[:0]
+		pool = append(pool, e)
+	}
+}

@@ -1,0 +1,72 @@
+// Package metrics is a miniature of the real two-plane instrument surface
+// for the planecross fixtures. The analyzer matches instruments by package
+// name ("metrics"), type name, and method name, so these stand-ins exercise
+// the rule without importing the real module.
+package metrics
+
+import "sync/atomic"
+
+// Counter is a laned sim-plane counter: unsynchronized, owned by the
+// window phase.
+type Counter struct{ v []int64 }
+
+// NewCounter sizes the counter for n lanes.
+func NewCounter(n int) *Counter { return &Counter{v: make([]int64, n)} }
+
+// Inc bumps one lane.
+func (c *Counter) Inc(lane int) { c.v[lane]++ }
+
+// Add adds to one lane.
+func (c *Counter) Add(lane int, d int64) { c.v[lane] += d }
+
+// Value sums the lanes — a read, free from either plane.
+func (c *Counter) Value() int64 {
+	var t int64
+	for _, x := range c.v {
+		t += x
+	}
+	return t
+}
+
+// Sum is a laned sim-plane accumulator.
+type Sum struct{ v []float64 }
+
+// Add accumulates into one lane.
+func (s *Sum) Add(lane int, d float64) { s.v[lane] += d }
+
+// Histogram is a laned sim-plane histogram.
+type Histogram struct{ n []int64 }
+
+// Observe records one sample into a lane's bucket 0 (enough for the rule).
+func (h *Histogram) Observe(lane int, x float64) { h.n[lane]++ }
+
+// HostCounter is an atomic host-plane counter.
+type HostCounter struct{ v atomic.Int64 }
+
+// Inc bumps the counter.
+func (c *HostCounter) Inc() { c.v.Add(1) }
+
+// Add adds a delta.
+func (c *HostCounter) Add(d int64) { c.v.Add(d) }
+
+// HostGauge is an atomic host-plane gauge.
+type HostGauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *HostGauge) Set(x int64) { g.v.Store(x) }
+
+// SetMax raises the gauge to x if larger.
+func (g *HostGauge) SetMax(x int64) {
+	for {
+		cur := g.v.Load()
+		if x <= cur || g.v.CompareAndSwap(cur, x) {
+			return
+		}
+	}
+}
+
+// HostHistogram is an atomic host-plane histogram.
+type HostHistogram struct{ n atomic.Int64 }
+
+// Observe records one sample.
+func (h *HostHistogram) Observe(x float64) { h.n.Add(1) }

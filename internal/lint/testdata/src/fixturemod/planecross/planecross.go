@@ -1,0 +1,54 @@
+// Package planecross exercises the two-plane instrument discipline:
+// sim-plane (laned) instruments only from window-phase contexts, host-plane
+// (atomic) instruments only from host contexts. Reads are free both ways.
+package planecross
+
+import (
+	"net/http"
+
+	"fixturemod/metrics"
+)
+
+// Engine mimics the DES entry-point shape for window-phase roots.
+type Engine struct{ fs []func() }
+
+// Spawn registers a window-phase closure.
+func (e *Engine) Spawn(f func()) { e.fs = append(e.fs, f) }
+
+var (
+	simCtr   = metrics.NewCounter(8)
+	simSum   = &metrics.Sum{}
+	hostCtr  = &metrics.HostCounter{}
+	hostLoad = &metrics.HostGauge{}
+)
+
+// Window records per-event counts. The laned increment is the intended
+// pattern; the atomic update from inside a window is the contention-and-
+// determinism bug the rule flags.
+func Window(e *Engine, lanes int) {
+	for l := 0; l < lanes; l++ {
+		lane := l
+		e.Spawn(func() {
+			simCtr.Inc(lane)
+			hostCtr.Inc() // want `host-plane instrument HostCounter.Inc updated from a window-phase context`
+		})
+	}
+}
+
+// Serve spawns the host-plane pump goroutine.
+func Serve() {
+	go pump()
+}
+
+// pump is a host-plane context: the laned counter is unsynchronized, so
+// updating it here races with the window phase.
+func pump() {
+	simCtr.Inc(0) // want `sim-plane instrument Counter.Inc updated from a host-plane context`
+	hostLoad.Set(simCtr.Value())
+}
+
+// Handle is handler-shaped, hence a host root even without a go statement.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	simSum.Add(0, 1) // want `sim-plane instrument Sum.Add updated from a host-plane context`
+	hostCtr.Add(1)
+}

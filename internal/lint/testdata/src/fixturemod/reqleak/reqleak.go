@@ -62,3 +62,24 @@ func Batched(c Comm, n int) {
 
 // Escapes returns the request: the caller owns the Wait.
 func Escapes(c Comm) *Request { return c.Isend(9) }
+
+// dropIt never waits on or stores its request — passing one here is a leak
+// the interprocedural upgrade traces through the summary.
+func dropIt(*Request) {}
+
+// waitVia discharges the obligation directly.
+func waitVia(r *Request) { r.Wait() }
+
+// forward discharges it one hop further, through the summary fixpoint.
+func forward(r *Request) { waitVia(r) }
+
+// PassedToSink hands the fresh request to a helper that ignores it.
+func PassedToSink(c Comm) {
+	dropIt(c.Isend(3)) // want `Isend/Irecv request passed to a helper that never waits on or stores it`
+}
+
+// PassedToWaiter is clean: the helper (and its helper) wait.
+func PassedToWaiter(c Comm) {
+	waitVia(c.Isend(4))
+	forward(c.Irecv(5))
+}

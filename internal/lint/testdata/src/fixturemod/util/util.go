@@ -1,0 +1,16 @@
+// Package util exercises the interprocedural determinism upgrade: it is
+// outside the configured core, but Stamp is called from fixturemod/core, so
+// its wall-clock read is flagged with a call-path witness. FreeStamp is
+// unreachable from the core and stays legal.
+package util
+
+import "time"
+
+// Stamp is reached from the core: the wall-clock read is just as
+// schedule-visible as if it sat in the core itself.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock call time.Now in util.Stamp, reachable from the deterministic core`
+}
+
+// FreeStamp is never called by core code — scoping still holds.
+func FreeStamp() int64 { return time.Now().UnixNano() }

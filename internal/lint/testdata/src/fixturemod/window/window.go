@@ -1,0 +1,113 @@
+// Package window exercises the sharedmut rule: mutable state shared across
+// shard-window or harness-worker contexts without lane discipline. The
+// centerpiece is the PR 7 regression re-introduced deliberately — a physics
+// problem holding one RNG that every shard's cost query advances through a
+// sealed interface — which must be flagged at lint time.
+package window
+
+// Engine mimics the DES entry-point shape: function values handed to Spawn
+// or At become window-phase roots.
+type Engine struct{ fs []func() }
+
+// Spawn registers a window-phase closure.
+func (e *Engine) Spawn(f func()) { e.fs = append(e.fs, f) }
+
+// At registers a closure at a virtual time.
+func (e *Engine) At(t float64, f func()) { e.fs = append(e.fs, f) }
+
+// RNG is a scalar-state generator: Intn advances state and returns a value,
+// the read-modify shape the rule hunts.
+type RNG struct{ state uint64 }
+
+// Intn draws the next value in [0, n).
+func (r *RNG) Intn(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int(r.state % uint64(n))
+}
+
+// Problem is the sealed interface the cost query dispatches through.
+type Problem interface{ Cost(blk int) float64 }
+
+// heatProblem is the PR 7 bug reborn: one RNG shared by every caller of
+// Cost, advanced on each query.
+type heatProblem struct{ rng *RNG }
+
+// Cost draws from the shared generator — order-dependent across shards.
+func (p *heatProblem) Cost(blk int) float64 {
+	return float64(p.rng.Intn(100)) // want `order-dependent state advance: .*Intn mutates scalar state of shared "p" and returns a value`
+}
+
+// totalDraws is package-level mutable state.
+var totalDraws int
+
+// laneDraws is package-level but laned: indexed writes keyed by a
+// context-local variable are lane discipline.
+var laneDraws [8]int
+
+// SharedThroughInterface wires the PR 7 pattern: the window closure reaches
+// heatProblem.Cost only through the sealed Problem interface, so catching
+// it requires interface dispatch in the reachability walk.
+func SharedThroughInterface(e *Engine, lanes int) float64 {
+	var prob Problem = &heatProblem{rng: &RNG{state: 1}}
+	total := 0.0
+	for l := 0; l < lanes; l++ {
+		e.Spawn(func() {
+			total += prob.Cost(l) // want `window/worker closure writes captured variable "total" without lane discipline`
+		})
+	}
+	return total
+}
+
+// GlobalAndCaptured trips the direct shapes: a package-level write, an
+// unlaned shared-RNG draw, and a laned write that passes.
+func GlobalAndCaptured(e *Engine, shared *RNG) {
+	for l := 0; l < 8; l++ {
+		lane := l
+		e.At(float64(l), func() {
+			totalDraws++        // want `package-level variable "totalDraws" written in shard-window/worker context`
+			_ = shared.Intn(10) // want `order-dependent state advance: .*Intn mutates scalar state of shared "shared" and returns a value`
+			laneDraws[lane]++   // laned: indexed by the captured per-iteration variable
+		})
+	}
+}
+
+// Arena's mutation protocol is shard ownership, audited at runtime in
+// paranoid mode — the annotation is the waiver policy for whole types.
+//
+//amr:shardowned
+type Arena struct{ n int }
+
+// Take hands out the next slot: scalar mutation plus a result, but exempt
+// via the type annotation.
+func (a *Arena) Take() int {
+	a.n++
+	return a.n
+}
+
+// Disciplined shows the clean patterns: a lane-local RNG bound before use
+// and a shard-owned arena.
+func Disciplined(e *Engine, rngs []*RNG, arena *Arena) {
+	for l := 0; l < len(rngs); l++ {
+		lane := l
+		e.Spawn(func() {
+			r := rngs[lane] // bind this lane's own instance
+			laneDraws[lane] += r.Intn(3)
+			_ = arena.Take() // //amr:shardowned exempts the type
+		})
+	}
+}
+
+// Spec mimics the harness worker-spec shape: the Run field's function value
+// is a worker root.
+type Spec struct {
+	Name string
+	Run  func()
+}
+
+// workerBody runs one experiment per call, concurrently across workers.
+func workerBody() {
+	totalDraws++ // want `package-level variable "totalDraws" written in shard-window/worker context`
+}
+
+// Launch installs the worker body.
+func Launch() Spec { return Spec{Name: "sweep", Run: workerBody} }

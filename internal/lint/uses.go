@@ -19,18 +19,27 @@ import (
 // catches the leak shapes that survive review — results dropped on the
 // floor and request slices built up and forgotten.
 func mustConsume(pass *Pass, rule, fix string, isProducer func(*Pass, *ast.CallExpr) bool, what string) {
+	mustConsumeVia(pass, rule, fix, isProducer, what, nil)
+}
+
+// mustConsumeVia is mustConsume with an interprocedural consumption test:
+// when consumes is non-nil, passing a tracked value as argument argIdx of a
+// call only counts as consumption if consumes(pass, call, argIdx) says so
+// (the reqleak summaries answer "does that helper actually handle its
+// request parameter?"). nil keeps the purely local rule: any call consumes.
+func mustConsumeVia(pass *Pass, rule, fix string, isProducer func(*Pass, *ast.CallExpr) bool, what string, consumes func(*Pass, *ast.CallExpr, int) bool) {
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			checkConsume(pass, fn.Body, rule, fix, isProducer, what)
+			checkConsume(pass, fn.Body, rule, fix, isProducer, what, consumes)
 		}
 	}
 }
 
-func checkConsume(pass *Pass, body *ast.BlockStmt, rule, fix string, isProducer func(*Pass, *ast.CallExpr) bool, what string) {
+func checkConsume(pass *Pass, body *ast.BlockStmt, rule, fix string, isProducer func(*Pass, *ast.CallExpr) bool, what string, consumes func(*Pass, *ast.CallExpr, int) bool) {
 	// Pending objects: locals holding a produced (or producer-accumulating)
 	// value, keyed by object, valued by the position to report.
 	pending := map[types.Object]token.Pos{}
@@ -67,8 +76,16 @@ func checkConsume(pass *Pass, body *ast.BlockStmt, rule, fix string, isProducer 
 						pending[tgt] = call.Pos()
 					}
 				}
+				return
 			}
-			// Any other call consumes the value directly.
+			// Any other call consumes the value directly — unless the
+			// interprocedural test says the callee never handles it.
+			if consumes != nil {
+				if idx := rhsIndex(p.Args, call); idx >= 0 && !consumes(pass, p, idx) {
+					pass.Reportf(call.Pos(), rule, fix,
+						"%s passed to a helper that never waits on or stores it", what)
+				}
+			}
 		default:
 			// Return, composite literal, channel send, index store, …:
 			// the value escapes; nothing to track.
@@ -111,6 +128,15 @@ func checkConsume(pass *Pass, body *ast.BlockStmt, rule, fix string, isProducer 
 					delete(pending, obj)
 					changed = true
 					return
+				}
+				if consumes != nil {
+					// An argument position whose callee never handles the
+					// value is not a use: the obligation stays pending.
+					if call, isCall := parentNode(stack).(*ast.CallExpr); isCall && !isAppend(pass, call) {
+						if idx := argIndex(call, id); idx >= 0 && !consumes(pass, call, idx) {
+							return
+						}
+					}
 				}
 				delete(pending, obj) // genuinely consumed
 				changed = true

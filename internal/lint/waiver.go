@@ -103,12 +103,23 @@ func (ws *waiverSet) filter(diags []Diagnostic) []Diagnostic {
 	return out
 }
 
-// unused reports every waiver that suppressed nothing, plus malformed ones.
-func (ws *waiverSet) unused() []Diagnostic {
-	out := append([]Diagnostic(nil), ws.broken...)
+// unusedIn reports every waiver in the selected file set that suppressed
+// nothing, plus malformed ones. Waivers outside the selection are left
+// alone: their diagnostics were filtered out with their packages, so "no
+// diagnostic suppressed" would be an artifact of the pattern, not a fact
+// about the code.
+func (ws *waiverSet) unusedIn(selected map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ws.broken {
+		if selected[d.File] {
+			out = append(out, d)
+		}
+	}
 	files := make([]string, 0, len(ws.byFile))
 	for f := range ws.byFile {
-		files = append(files, f)
+		if selected[f] {
+			files = append(files, f)
+		}
 	}
 	sort.Strings(files)
 	for _, f := range files {

@@ -312,7 +312,7 @@ func (c *Comm) newRequest(kind WaitKind, bytes, peer, tag int) *Request {
 		r.fut.Reset()
 		r.freed = false
 	} else {
-		r = &Request{}
+		r = &Request{} //lint:ignore hotalloc pool fill: only on freelist miss, and the request returns to reqFree on Wait, so steady state allocates nothing
 	}
 	r.kind = kind
 	r.bytes = bytes
@@ -333,7 +333,11 @@ func (c *Comm) release(r *Request) {
 }
 
 // Comm is a rank-bound communicator; all calls must happen on the rank's
-// own process.
+// own process. That single-rank binding is the ownership protocol: each
+// Comm (including its jitter RNG and request pool) is mutated only by the
+// simulated process that owns it, which paranoid mode asserts at runtime.
+//
+//amr:shardowned
 type Comm struct {
 	w    *World
 	rank int
@@ -368,7 +372,7 @@ func (w *World) queueFor(dst int, key msgKey) *matchQueue {
 	m := w.mq[dst]
 	q := m[key]
 	if q == nil {
-		q = &matchQueue{}
+		q = &matchQueue{} //lint:ignore hotalloc first-use only: queues persist for the world's life and keys recur every step, so this amortizes to zero
 		m[key] = q
 	}
 	return q
@@ -378,6 +382,8 @@ func (w *World) queueFor(dst int, key msgKey) *matchQueue {
 // returns the sender-side request. The message is injected into the fabric
 // immediately; the request completes when the fabric releases the send
 // buffer (usually ~SendOverhead, but the ACK-recovery fault can stretch it).
+//
+//amr:hotpath
 func (c *Comm) Isend(dst, tag, bytes int) *Request {
 	if dst == c.rank {
 		panic("mpi: Isend to self; intra-rank exchanges use memcpy")
@@ -456,6 +462,8 @@ func (w *World) engFor(rank int32) *sim.Engine {
 
 // Irecv posts a non-blocking receive for a message from src with the given
 // tag. If a matching message already arrived, the request is born complete.
+//
+//amr:hotpath
 func (c *Comm) Irecv(src, tag int) *Request {
 	w := c.w
 	if src < 0 || src >= w.nranks {
@@ -483,6 +491,8 @@ func (c *Comm) Irecv(src, tag int) *Request {
 // rank's CommWait bucket and reporting it to OnWait. Wait consumes the
 // request: it returns to the world's free list, so the caller must drop the
 // pointer afterwards (waiting twice on the same request panics).
+//
+//amr:hotpath
 func (c *Comm) Wait(req *Request) {
 	if req.freed {
 		panic("mpi: Wait on a request already released by a previous Wait")

@@ -150,7 +150,11 @@ func (h *eventHeap) pop() event {
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
-// construct with NewEngine. Engines are not safe for concurrent use.
+// construct with NewEngine. Engines are not safe for concurrent use: in
+// sharded runs each shard drives its own Engine, and the conservative-DES
+// merge protocol is the only cross-shard access path.
+//
+//amr:shardowned
 type Engine struct {
 	now     Time
 	seq     int64
@@ -275,6 +279,10 @@ func (e *Engine) schedProc(t Time, p *Proc) {
 }
 
 // Step executes the next event. It returns false when no events remain.
+// This is the simulator's innermost loop — §profiling puts it on every
+// flame graph — so allocations here are policed by the hotalloc rule.
+//
+//amr:hotpath
 func (e *Engine) Step() bool {
 	if len(e.pq) == 0 {
 		return false

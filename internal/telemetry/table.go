@@ -103,7 +103,11 @@ func (c *column) appendValue(v interface{}) error {
 }
 
 // Table is a columnar table with a fixed schema. The zero value is not
-// usable; construct with NewTable.
+// usable; construct with NewTable. Tables are single-writer: the j1-vs-jN
+// identity tests pin down that every append happens on the run's collector
+// context, never concurrently from shard windows.
+//
+//amr:shardowned
 type Table struct {
 	cols   []*column
 	byName map[string]int

@@ -205,7 +205,15 @@ func (n vCmpStrColLit) eval(c *chunkCtx, sel []int) ([]bool, evalErr) {
 	col := &c.cols[n.idx]
 	byID := make([]bool, len(col.Dict))
 	for id, s := range col.Dict {
-		r, _ := compareString(n.op, s, n.lit)
+		r, err := compareString(n.op, s, n.lit)
+		if err != nil {
+			// Row-wise evaluation would fail at the first selected row; an
+			// empty selection evaluates no rows and surfaces nothing.
+			if len(sel) == 0 {
+				return make([]bool, 0), noErr
+			}
+			return make([]bool, len(sel)), evalErr{idx: 0, err: err}
+		}
 		byID[id] = r.(bool)
 	}
 	out := make([]bool, len(sel))
@@ -226,7 +234,13 @@ func (n vCmpStrLitCol) eval(c *chunkCtx, sel []int) ([]bool, evalErr) {
 	col := &c.cols[n.idx]
 	byID := make([]bool, len(col.Dict))
 	for id, s := range col.Dict {
-		r, _ := compareString(n.op, n.lit, s)
+		r, err := compareString(n.op, n.lit, s)
+		if err != nil {
+			if len(sel) == 0 {
+				return make([]bool, 0), noErr
+			}
+			return make([]bool, len(sel)), evalErr{idx: 0, err: err}
+		}
 		byID[id] = r.(bool)
 	}
 	out := make([]bool, len(sel))
@@ -246,7 +260,10 @@ func (n vCmpStrColCol) eval(c *chunkCtx, sel []int) ([]bool, evalErr) {
 	l, r := &c.cols[n.li], &c.cols[n.ri]
 	out := make([]bool, len(sel))
 	for i, row := range sel {
-		v, _ := compareString(n.op, l.Dict[l.StrIDs[row]], r.Dict[r.StrIDs[row]])
+		v, err := compareString(n.op, l.Dict[l.StrIDs[row]], r.Dict[r.StrIDs[row]])
+		if err != nil {
+			return out, evalErr{idx: i, err: err}
+		}
 		out[i] = v.(bool)
 	}
 	return out, noErr

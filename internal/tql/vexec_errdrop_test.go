@@ -1,0 +1,90 @@
+package tql
+
+import (
+	"strings"
+	"testing"
+
+	"amrtools/internal/colfile"
+)
+
+// Regression tests for the errdrop findings in the vectorized string
+// comparators: compareString's error used to be discarded with `r, _ :=`,
+// so an operator the string comparator does not support either panicked on
+// the nil result's type assertion (dictionary-hoisted paths) or silently
+// evaluated every row to false (row-wise path). The parser happens to
+// admit only supported operators today, which is exactly how the class
+// survives review — these tests drive the comparators directly, the way a
+// future operator addition would.
+
+func strChunk() *chunkCtx {
+	return &chunkCtx{
+		cols: []colfile.ColData{
+			{Dict: []string{"aa", "bb"}, StrIDs: []uint32{0, 1, 0}},
+			{Dict: []string{"aa", "cc"}, StrIDs: []uint32{0, 0, 1}},
+		},
+		n: 3,
+	}
+}
+
+func wantBadOp(t *testing.T, name string, ev evalErr, wantIdx int) {
+	t.Helper()
+	if ev.idx != wantIdx {
+		t.Fatalf("%s: error index = %d, want %d", name, ev.idx, wantIdx)
+	}
+	if ev.err == nil || !strings.Contains(ev.err.Error(), "bad operator") {
+		t.Fatalf("%s: error = %v, want bad-operator error", name, ev.err)
+	}
+}
+
+func TestVCmpStrBadOpSurfacesError(t *testing.T) {
+	c := strChunk()
+	sel := []int{0, 1, 2}
+
+	_, ev := vCmpStrColLit{op: "~", idx: 0, lit: "aa"}.eval(c, sel)
+	wantBadOp(t, "col-lit", ev, 0)
+
+	_, ev = vCmpStrLitCol{op: "~", lit: "aa", idx: 0}.eval(c, sel)
+	wantBadOp(t, "lit-col", ev, 0)
+
+	_, ev = vCmpStrColCol{op: "~", li: 0, ri: 1}.eval(c, sel)
+	wantBadOp(t, "col-col", ev, 0)
+}
+
+// A bad operator over an empty selection evaluates no rows, matching the
+// legacy row-wise evaluator: no row, no error.
+func TestVCmpStrBadOpEmptySelection(t *testing.T) {
+	c := strChunk()
+	if _, ev := (vCmpStrColLit{op: "~", idx: 0, lit: "aa"}).eval(c, nil); ev.idx != -1 {
+		t.Fatalf("col-lit over empty selection: error %v at %d, want none", ev.err, ev.idx)
+	}
+	if _, ev := (vCmpStrLitCol{op: "~", lit: "aa", idx: 0}).eval(c, nil); ev.idx != -1 {
+		t.Fatalf("lit-col over empty selection: error %v at %d, want none", ev.err, ev.idx)
+	}
+}
+
+// The supported operators still evaluate correctly through the dictionary
+// hoist after the error path was added.
+func TestVCmpStrGoodOpsStillWork(t *testing.T) {
+	c := strChunk()
+	sel := []int{0, 1, 2}
+	out, ev := vCmpStrColLit{op: "=", idx: 0, lit: "aa"}.eval(c, sel)
+	if ev.idx != -1 {
+		t.Fatalf("unexpected error: %v", ev.err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("row %d: got %v, want %v", i, out[i], want[i])
+		}
+	}
+	out, ev = vCmpStrColCol{op: "!=", li: 0, ri: 1}.eval(c, sel)
+	if ev.idx != -1 {
+		t.Fatalf("unexpected error: %v", ev.err)
+	}
+	want = []bool{false, true, true}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("row %d: got %v, want %v", i, out[i], want[i])
+		}
+	}
+}
